@@ -1,0 +1,211 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table/figure,
+   measuring the computational kernel that regenerates it, plus the core
+   protocol primitives. Run with `dune exec bench/main.exe`. *)
+
+open Bechamel
+open Toolkit
+module E = Concilium_experiments
+module World = Concilium_core.World
+module Blame = Concilium_core.Blame
+module Accusation_model = Concilium_core.Accusation_model
+module Bandwidth = Concilium_core.Bandwidth
+module Density_test = Concilium_overlay.Density_test
+module Jump_table_model = Concilium_overlay.Jump_table_model
+module Pastry = Concilium_overlay.Pastry
+module Id = Concilium_overlay.Id
+module Minc = Concilium_tomography.Minc
+module Probing = Concilium_tomography.Probing
+module Observation = Concilium_tomography.Observation
+module Prng = Concilium_util.Prng
+
+(* Shared fixtures, built once. *)
+let world = lazy (World.build (World.tiny_config ~seed:2024L))
+
+let blame_world =
+  lazy
+    (E.Blame_world.create ~world:(Lazy.force world)
+       {
+         (E.Blame_world.paper_config ~colluding_fraction:0. ~seed:3L) with
+         E.Blame_world.duration = 1800.;
+       })
+
+let minc_fixture =
+  lazy
+    (let w = Lazy.force world in
+     let tree = w.World.trees.(0) in
+     let logical = w.World.logical.(0) in
+     let rng = Prng.of_seed 5L in
+     let rounds = Probing.probe_rounds ~rng ~loss_of_link:(fun _ -> 0.02) ~tree ~count:100 () in
+     (logical, Probing.acked_matrix rounds))
+
+let observation_fixture =
+  lazy
+    (let store = Observation.create () in
+     let rng = Prng.of_seed 6L in
+     for _ = 1 to 5_000 do
+       Observation.record store
+         {
+           Observation.time = Prng.float rng 7200.;
+           prober = Prng.int rng 50;
+           link = Prng.int rng 200;
+           up = Prng.bool rng;
+         }
+     done;
+     store)
+
+let fig1_bench =
+  Test.make ~name:"fig1:occupancy-model+monte-carlo"
+    (Staged.stage @@ fun () ->
+     let rng = Prng.of_seed 1L in
+     ignore (Jump_table_model.model ~n:10_000);
+     ignore (Jump_table_model.monte_carlo_occupancy ~rng ~n:2_000 ~trials:1))
+
+let fig2_bench =
+  Test.make ~name:"fig2:density-error-rates"
+    (Staged.stage @@ fun () ->
+     ignore
+       (Density_test.rates ~gamma:1.2
+          { Density_test.n = 100_000; colluding_fraction = 0.2; suppression = false }))
+
+let fig3_bench =
+  Test.make ~name:"fig3:density-error-rates-suppression"
+    (Staged.stage @@ fun () ->
+     ignore
+       (Density_test.rates ~gamma:1.2
+          { Density_test.n = 100_000; colluding_fraction = 0.2; suppression = true }))
+
+let fig4_bench =
+  Test.make ~name:"fig4:forest-coverage-per-host"
+    (Staged.stage @@ fun () ->
+     let w = Lazy.force world in
+     let rng = Prng.of_seed 4L in
+     ignore (E.Fig4.run ~world:w ~rng ~host_sample:3))
+
+let fig5_bench =
+  Test.make ~name:"fig5:blame-judgment-x10"
+    (Staged.stage @@ fun () ->
+     let bw = Lazy.force blame_world in
+     let rng = Prng.of_seed 7L in
+     for _ = 1 to 10 do
+       ignore (E.Blame_world.sample_judgment bw ~rng)
+     done)
+
+let fig6_bench =
+  Test.make ~name:"fig6:accusation-error-sweep"
+    (Staged.stage @@ fun () ->
+     for m = 1 to 30 do
+       ignore (Accusation_model.false_positive ~w:100 ~m ~p_good:0.018);
+       ignore (Accusation_model.false_negative ~w:100 ~m ~p_faulty:0.938)
+     done)
+
+let bandwidth_bench =
+  Test.make ~name:"sec4.4:bandwidth-model"
+    (Staged.stage @@ fun () -> ignore (Bandwidth.report Bandwidth.paper_params))
+
+let blame_eq2_bench =
+  Test.make ~name:"core:blame-equation-2"
+    (Staged.stage @@ fun () ->
+     let store = Lazy.force observation_fixture in
+     ignore
+       (Blame.blame Blame.paper_config ~observations:store ~links:[| 1; 2; 3; 4; 5 |]
+          ~drop_time:3600. ~exclude_prober:0 ()))
+
+let minc_bench =
+  Test.make ~name:"tomography:minc-inference-100-rounds"
+    (Staged.stage @@ fun () ->
+     let logical, acked = Lazy.force minc_fixture in
+     ignore (Minc.infer logical ~acked))
+
+let pastry_route_bench =
+  Test.make ~name:"overlay:pastry-route"
+    (Staged.stage @@ fun () ->
+     let w = Lazy.force world in
+     let rng = Prng.of_seed 8L in
+     let dest = Id.random rng in
+     ignore (Pastry.route w.World.pastry ~from:0 ~dest))
+
+let secure_table_bench =
+  Test.make ~name:"overlay:secure-table-build"
+    (Staged.stage @@ fun () ->
+     let rng = Prng.of_seed 9L in
+     let sorted = Array.init 500 (fun i -> (Id.random rng, i)) in
+     Array.sort (fun (a, _) (b, _) -> Id.compare a b) sorted;
+     ignore (Concilium_overlay.Routing_table.build_secure ~owner:(fst sorted.(250)) ~sorted))
+
+let sha256_bench =
+  Test.make ~name:"crypto:sha256-1KiB"
+    (Staged.stage @@ fun () -> ignore (Concilium_crypto.Sha256.digest (String.make 1024 'x')))
+
+let chord_fixture =
+  lazy
+    (let rng = Prng.of_seed 10L in
+     let ids = Array.init 500 (fun _ -> Id.random rng) in
+     Concilium_overlay.Chord.build ids)
+
+let chord_route_bench =
+  Test.make ~name:"overlay:chord-route"
+    (Staged.stage @@ fun () ->
+     let overlay = Lazy.force chord_fixture in
+     let rng = Prng.of_seed 11L in
+     ignore (Concilium_overlay.Chord.route overlay ~from:0 ~dest:(Id.random rng)))
+
+let secure_routing_bench =
+  Test.make ~name:"overlay:redundant-route"
+    (Staged.stage @@ fun () ->
+     let w = Lazy.force world in
+     let rng = Prng.of_seed 12L in
+     ignore
+       (Concilium_overlay.Secure_routing.redundant_route w.World.pastry ~from:0
+          ~dest:(Id.random rng)
+          ~faulty:(fun v -> v mod 7 = 3)))
+
+let validation_bench =
+  Test.make ~name:"core:snapshot-validation"
+    (Staged.stage @@ fun () ->
+     (* Verifying a full accusation exercises signature checks, vote
+        re-validation and the blame recomputation. *)
+     let pki = Concilium_crypto.Pki.create ~seed:13L in
+     let cert, secret = Concilium_crypto.Pki.issue pki ~address:"b" ~node_id:"bench" in
+     let signature = Concilium_crypto.Pki.sign secret "bench-payload" in
+     ignore (Concilium_crypto.Pki.verify pki cert.Concilium_crypto.Pki.subject_key "bench-payload" signature))
+
+let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+
+let benchmark () =
+  let tests =
+    [
+      fig1_bench;
+      fig2_bench;
+      fig3_bench;
+      fig4_bench;
+      fig5_bench;
+      fig6_bench;
+      bandwidth_bench;
+      blame_eq2_bench;
+      minc_bench;
+      pastry_route_bench;
+      secure_table_bench;
+      sha256_bench;
+      chord_route_bench;
+      secure_routing_bench;
+      validation_bench;
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let test = Test.make_grouped ~name:"concilium" ~fmt:"%s %s" tests in
+  let raw_results = Benchmark.all cfg instances test in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  (Analyze.merge ols instances results, raw_results)
+
+let () =
+  let results, _ = benchmark () in
+  let open Bechamel_notty in
+  let rect =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { w; h }
+    | None -> { w = 120; h = 1 }
+  in
+  List.iter (fun v -> Unit.add v (Measure.unit v)) Instance.[ monotonic_clock ];
+  Multiple.image_of_ols_results ~rect ~predictor:Measure.run results
+  |> Notty_unix.eol |> Notty_unix.output_image

@@ -1,0 +1,1 @@
+examples/collusion_attack.mli:

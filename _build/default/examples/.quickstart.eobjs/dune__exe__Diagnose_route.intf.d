@@ -1,0 +1,1 @@
+examples/diagnose_route.mli:

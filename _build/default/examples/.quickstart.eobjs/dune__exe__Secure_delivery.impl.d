@@ -1,0 +1,1 @@
+examples/secure_delivery.ml: Array Concilium_overlay Concilium_util List Printf String

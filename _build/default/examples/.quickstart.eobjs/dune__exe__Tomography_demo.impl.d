@@ -1,0 +1,1 @@
+examples/tomography_demo.ml: Array Concilium_core Concilium_tomography Concilium_util Hashtbl List Printf

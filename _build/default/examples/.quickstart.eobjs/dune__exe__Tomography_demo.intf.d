@@ -1,0 +1,1 @@
+examples/tomography_demo.mli:

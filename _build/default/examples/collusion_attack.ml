@@ -1,0 +1,60 @@
+(* Colluding probe-flippers (paper Section 4.3 / Figure 5(b)).
+
+   20% of the overlay inverts its probe reports strategically: "the link
+   was up" when an innocent node is being judged (framing it), "the link
+   was down" when a fellow colluder is judged (shielding it). This example
+   measures how far the verdicts degrade and how raising the accusation
+   threshold m (Figure 6) restores sub-1% formal-accusation error.
+
+       dune exec examples/collusion_attack.exe *)
+
+module E = Concilium_experiments
+module World = Concilium_core.World
+module Accusation_model = Concilium_core.Accusation_model
+
+let () =
+  let world = World.build (World.tiny_config ~seed:99L) in
+  let run fraction =
+    let bw =
+      E.Blame_world.create ~world
+        {
+          (E.Blame_world.paper_config ~colluding_fraction:fraction ~seed:17L) with
+          E.Blame_world.duration = 3600.;
+        }
+    in
+    E.Blame_world.run bw ~samples:4000 ~bins:20
+  in
+  let honest = run 0. in
+  let attacked = run 0.2 in
+  Printf.printf "per-drop guilty-verdict rates (blame threshold 40%%):\n";
+  Printf.printf "  %-16s innocent guilty %5.1f%%   faulty guilty %5.1f%%\n" "honest"
+    (100. *. honest.E.Blame_world.p_good)
+    (100. *. honest.E.Blame_world.p_faulty);
+  Printf.printf "  %-16s innocent guilty %5.1f%%   faulty guilty %5.1f%%\n" "20% colluders"
+    (100. *. attacked.E.Blame_world.p_good)
+    (100. *. attacked.E.Blame_world.p_faulty);
+  print_newline ();
+  let report label result =
+    match
+      Accusation_model.smallest_m_below ~w:100 ~p_good:result.E.Blame_world.p_good
+        ~p_faulty:result.E.Blame_world.p_faulty ~target:0.01
+    with
+    | Some m ->
+        Printf.printf
+          "  %-16s m = %d guilty verdicts per 100-drop window drives both formal-accusation \
+           error rates below 1%%\n"
+          label m
+    | None ->
+        Printf.printf "  %-16s no m achieves sub-1%% error -- verdicts too noisy\n" label
+  in
+  print_endline "window thresholding (w = 100):";
+  report "honest" honest;
+  report "20% colluders" attacked;
+  print_newline ();
+  print_endline
+    "Collusion blurs the blame distributions but cannot defeat the window: the\n\
+     attacker shifts individual verdicts, while formal accusations integrate ~100\n\
+     of them.";
+  (* Show a slice of the two pdfs side by side. *)
+  E.Output.print (E.Blame_world.pdf_table ~title:"blame pdf, honest probing" honest);
+  E.Output.print (E.Blame_world.pdf_table ~title:"blame pdf, 20% colluders" attacked)

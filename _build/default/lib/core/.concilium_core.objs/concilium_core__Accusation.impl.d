@@ -1,0 +1,1 @@
+lib/core/accusation.ml: Array Blame Commitment Concilium_crypto Concilium_overlay Format List Printf String

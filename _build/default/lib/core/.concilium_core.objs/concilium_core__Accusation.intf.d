@@ -1,0 +1,1 @@
+lib/core/accusation.mli: Blame Commitment Concilium_crypto Concilium_overlay Format

@@ -1,0 +1,1 @@
+lib/core/accusation_model.ml: Concilium_stats List

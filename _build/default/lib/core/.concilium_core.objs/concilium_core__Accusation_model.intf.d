@@ -1,0 +1,1 @@
+lib/core/accusation_model.mli:

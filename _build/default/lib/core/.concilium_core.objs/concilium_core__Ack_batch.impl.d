@@ -1,0 +1,1 @@
+lib/core/ack_batch.ml: Concilium_crypto Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/ack_batch.mli:

@@ -1,0 +1,1 @@
+lib/core/blame.ml: Array Concilium_tomography Format List

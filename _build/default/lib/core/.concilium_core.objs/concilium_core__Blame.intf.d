@@ -1,0 +1,1 @@
+lib/core/blame.mli: Concilium_tomography Format

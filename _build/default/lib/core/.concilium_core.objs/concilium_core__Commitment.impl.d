@@ -1,0 +1,1 @@
+lib/core/commitment.ml: Concilium_crypto Concilium_overlay Printf String

@@ -1,0 +1,1 @@
+lib/core/commitment.mli: Concilium_crypto Concilium_overlay

@@ -1,0 +1,1 @@
+lib/core/dht.ml: Accusation Array Concilium_crypto Concilium_overlay Hashtbl List Printf

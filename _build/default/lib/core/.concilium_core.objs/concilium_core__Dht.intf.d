@@ -1,0 +1,1 @@
+lib/core/dht.mli: Accusation Concilium_crypto Concilium_overlay

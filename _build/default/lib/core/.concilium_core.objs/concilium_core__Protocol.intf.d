@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Accusation Blame Concilium_netsim Concilium_overlay Concilium_tomography Concilium_util Dht Stewardship Validation World

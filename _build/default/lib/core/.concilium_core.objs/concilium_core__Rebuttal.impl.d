@@ -1,0 +1,1 @@
+lib/core/rebuttal.ml: Accusation Blame Concilium_crypto Concilium_overlay Format List

@@ -1,0 +1,1 @@
+lib/core/rebuttal.mli: Accusation Concilium_crypto Concilium_overlay Format

@@ -1,0 +1,1 @@
+lib/core/sanction.ml: Format

@@ -1,0 +1,1 @@
+lib/core/sanction.mli: Format

@@ -1,0 +1,1 @@
+lib/core/stewardship.ml: Hashtbl List

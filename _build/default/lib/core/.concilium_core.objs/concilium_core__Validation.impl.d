@@ -1,0 +1,1 @@
+lib/core/validation.ml: Concilium_crypto Concilium_overlay Concilium_tomography Format List

@@ -1,0 +1,1 @@
+lib/core/validation.mli: Concilium_crypto Concilium_overlay Concilium_tomography Format

@@ -1,0 +1,1 @@
+lib/core/verdict_window.ml: Blame Concilium_util List

@@ -1,0 +1,1 @@
+lib/core/verdict_window.mli: Blame

@@ -1,0 +1,1 @@
+lib/core/world.ml: Array Concilium_crypto Concilium_overlay Concilium_tomography Concilium_topology Concilium_util Float Hashtbl List Printf

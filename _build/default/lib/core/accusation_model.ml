@@ -1,0 +1,31 @@
+module Binomial = Concilium_stats.Binomial
+
+let check w m =
+  if w <= 0 then invalid_arg "Accusation_model: window must be positive";
+  if m < 0 || m > w then invalid_arg "Accusation_model: m outside [0, w]"
+
+let false_positive ~w ~m ~p_good =
+  check w m;
+  Binomial.survival ~n:w ~p:p_good m
+
+let false_negative ~w ~m ~p_faulty =
+  check w m;
+  Binomial.cdf ~n:w ~p:p_faulty (m - 1)
+
+type sweep_point = { m : int; false_positive : float; false_negative : float }
+
+let sweep ~w ~p_good ~p_faulty =
+  List.init w (fun i ->
+      let m = i + 1 in
+      {
+        m;
+        false_positive = false_positive ~w ~m ~p_good;
+        false_negative = false_negative ~w ~m ~p_faulty;
+      })
+
+let smallest_m_below ~w ~p_good ~p_faulty ~target =
+  List.find_map
+    (fun point ->
+      if point.false_positive < target && point.false_negative < target then Some point.m
+      else None)
+    (sweep ~w ~p_good ~p_faulty)

@@ -1,0 +1,22 @@
+(** Analytic error model for formal accusations (paper Section 4.3).
+
+    With p_good (p_faulty) the per-drop probability that a non-faulty
+    (faulty) peer draws a guilty verdict, the number of guilty verdicts in
+    a w-slot window is binomial, so
+
+      Pr(false positive) = Pr(W >= m),  W ~ Binomial(w, p_good)
+      Pr(false negative) = Pr(W < m),   W ~ Binomial(w, p_faulty). *)
+
+val false_positive : w:int -> m:int -> p_good:float -> float
+val false_negative : w:int -> m:int -> p_faulty:float -> float
+
+type sweep_point = { m : int; false_positive : float; false_negative : float }
+
+val sweep : w:int -> p_good:float -> p_faulty:float -> sweep_point list
+(** All m from 1 to w. *)
+
+val smallest_m_below :
+  w:int -> p_good:float -> p_faulty:float -> target:float -> int option
+(** Least m driving both error rates below [target], if any (the paper
+    finds m = 6 for honest probing, m = 16 under 20% collusion, both at
+    target 1%). *)

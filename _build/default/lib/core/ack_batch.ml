@@ -1,0 +1,40 @@
+module Sha256 = Concilium_crypto.Sha256
+module Pki = Concilium_crypto.Pki
+
+type t = { mutable received : string list; seen : (string, unit) Hashtbl.t }
+
+let create () = { received = []; seen = Hashtbl.create 64 }
+
+let record_received t ~message_id =
+  if not (Hashtbl.mem t.seen message_id) then begin
+    Hashtbl.replace t.seen message_id ();
+    t.received <- message_id :: t.received
+  end
+
+let received_count t = Hashtbl.length t.seen
+
+type summary = Counter of int | Hashes of string list
+
+let hash_id message_id = Sha256.hex_digest ("ack|" ^ message_id)
+
+let flush t ~encoding =
+  let result =
+    match encoding with
+    | `Counter -> Counter (received_count t)
+    | `Hashes -> Hashes (List.rev_map hash_id t.received)
+  in
+  t.received <- [];
+  Hashtbl.reset t.seen;
+  result
+
+let missing ~sent summary =
+  match summary with
+  | Counter n -> if n = List.length sent then Some [] else None
+  | Hashes hashes ->
+      let acked = Hashtbl.create 64 in
+      List.iter (fun h -> Hashtbl.replace acked h ()) hashes;
+      Some (List.filter (fun id -> not (Hashtbl.mem acked (hash_id id))) sent)
+
+let wire_bytes summary =
+  Pki.modeled_signature_bytes
+  + (match summary with Counter _ -> 4 | Hashes hashes -> 32 * List.length hashes)

@@ -1,0 +1,32 @@
+(** Batched acknowledgments (paper Section 3.7).
+
+    When two peers exchange many packets it is wasteful to acknowledge each
+    individually; one acknowledgment can cover many messages, either as a
+    simple counter of arrivals or as the hashes of the specific packets
+    received (the two encodings the paper sketches, after Fatih). Counters
+    are tiny but cannot say *which* messages vanished; hash lists can. *)
+
+type t
+
+val create : unit -> t
+(** A per-(sender, receiver) accumulator for the current batch. *)
+
+val record_received : t -> message_id:string -> unit
+(** Note a message's arrival. Duplicate ids are counted once. *)
+
+val received_count : t -> int
+
+type summary =
+  | Counter of int
+  | Hashes of string list  (** SHA-256 of each received message id *)
+
+val flush : t -> encoding:[ `Counter | `Hashes ] -> summary
+(** Emit the batch summary and reset the accumulator. *)
+
+val missing : sent:string list -> summary -> string list option
+(** Which of [sent] went unacknowledged. [None] for counter summaries when
+    the counter disagrees with |sent| — loss happened, but a counter cannot
+    localise it (the trade-off the paper notes). Empty list = all arrived. *)
+
+val wire_bytes : summary -> int
+(** Modeled size: 4 bytes for a counter, 32 per hash, plus a signature. *)

@@ -1,0 +1,56 @@
+module Jump_table_model = Concilium_overlay.Jump_table_model
+
+type params = {
+  overlay_size : int;
+  leaf_set_size : int;
+  entry_bytes : int;
+  path_summary_bytes : int;
+  stripes_per_pair : int;
+  packets_per_stripe : int;
+  probe_packet_bytes : int;
+}
+
+let paper_params =
+  {
+    overlay_size = 100_000;
+    leaf_set_size = 16;
+    entry_bytes = 144;
+    path_summary_bytes = 1;
+    stripes_per_pair = 100;
+    packets_per_stripe = 2;
+    probe_packet_bytes = 30;
+  }
+
+let expected_routing_entries p =
+  Jump_table_model.expected_routing_entries ~n:p.overlay_size ~leaf_set_size:p.leaf_set_size
+
+let advertised_state_bytes p =
+  expected_routing_entries p *. float_of_int (p.entry_bytes + p.path_summary_bytes)
+
+let heavyweight_probe_bytes p =
+  let leaves = expected_routing_entries p in
+  let pairs = leaves *. (leaves -. 1.) /. 2. in
+  pairs
+  *. float_of_int p.stripes_per_pair
+  *. float_of_int p.packets_per_stripe
+  *. float_of_int p.probe_packet_bytes
+
+let lightweight_extra_bytes _ = 0.
+
+type report_row = { label : string; value : float; unit_ : string }
+
+let report p =
+  [
+    { label = "expected routing entries"; value = expected_routing_entries p; unit_ = "entries" };
+    {
+      label = "advertised routing state";
+      value = advertised_state_bytes p /. 1024.;
+      unit_ = "KiB";
+    };
+    {
+      label = "heavyweight probing (outgoing, per tree)";
+      value = heavyweight_probe_bytes p /. (1024. *. 1024.);
+      unit_ = "MiB";
+    };
+    { label = "lightweight probing (extra)"; value = lightweight_extra_bytes p; unit_ = "B" };
+  ]

@@ -1,0 +1,65 @@
+module Observation = Concilium_tomography.Observation
+
+type config = { accuracy : float; delta : float; guilt_threshold : float }
+
+let paper_config = { accuracy = 0.9; delta = 60.; guilt_threshold = 0.4 }
+
+let check_config config =
+  if config.accuracy <= 0.5 || config.accuracy > 1. then
+    invalid_arg "Blame: accuracy must lie in (0.5, 1]";
+  if config.delta < 0. then invalid_arg "Blame: negative delta";
+  if config.guilt_threshold < 0. || config.guilt_threshold > 1. then
+    invalid_arg "Blame: threshold outside [0,1]"
+
+let link_bad_confidence ~accuracy ~up_votes ~down_votes =
+  let total = up_votes + down_votes in
+  if total = 0 then 0.
+  else begin
+    let up = float_of_int up_votes and down = float_of_int down_votes in
+    ((up *. (1. -. accuracy)) +. (down *. accuracy)) /. float_of_int total
+  end
+
+let confidence_of_votes config votes =
+  (* votes: (prober, up) pairs for one link. *)
+  let up_votes = List.length (List.filter snd votes) in
+  let down_votes = List.length votes - up_votes in
+  link_bad_confidence ~accuracy:config.accuracy ~up_votes ~down_votes
+
+let path_bad_confidence config ~observations ~links ~drop_time ~exclude_prober
+    ?(visible = fun _ -> true) () =
+  check_config config;
+  let lo = drop_time -. config.delta and hi = drop_time +. config.delta in
+  Array.fold_left
+    (fun best link ->
+      let votes =
+        List.filter_map
+          (fun obs ->
+            if obs.Observation.prober = exclude_prober || not (visible obs.Observation.prober)
+            then None
+            else Some (obs.Observation.prober, obs.Observation.up))
+          (Observation.on_link observations ~link ~lo ~hi)
+      in
+      if votes = [] then best else max best (confidence_of_votes config votes))
+    0. links
+
+let blame config ~observations ~links ~drop_time ~exclude_prober ?(visible = fun _ -> true) () =
+  1. -. path_bad_confidence config ~observations ~links ~drop_time ~exclude_prober ~visible ()
+
+let blame_of_observations config ~grouped =
+  check_config config;
+  let worst =
+    Array.fold_left
+      (fun best votes -> if votes = [] then best else max best (confidence_of_votes config votes))
+      0. grouped
+  in
+  1. -. worst
+
+type verdict = Guilty | Innocent
+
+let verdict_of_blame config value =
+  check_config config;
+  if value >= config.guilt_threshold then Guilty else Innocent
+
+let pp_verdict fmt = function
+  | Guilty -> Format.pp_print_string fmt "guilty"
+  | Innocent -> Format.pp_print_string fmt "innocent"

@@ -1,0 +1,67 @@
+(** Fuzzy-logic blame attribution (paper Section 3.4, Equations 2 and 3).
+
+    When A's message through B towards Z goes unacknowledged, A computes
+    the probability that the IP path from B to its next hop C was bad, from
+    the probe results covering the path's links in the window
+    [t - Delta, t + Delta]:
+
+      Pr(B->C bad) = max over links l of
+        (sum over p in probes(l) of [p.up*(1-a) + (1-p.up)*a]) / |probes(l)|
+
+    where a is probe accuracy and max is fuzzy-logic OR. Blame for B is the
+    complement: Pr(B faulty) = 1 - Pr(B->C bad). B's own probe results are
+    excluded so B cannot exculpate itself with fabricated data. *)
+
+module Observation = Concilium_tomography.Observation
+
+type config = {
+  accuracy : float;  (** a: probability a probe classifies a link correctly *)
+  delta : float;  (** window half-width in seconds (the paper uses 60 s) *)
+  guilt_threshold : float;  (** blame above this yields a guilty verdict (the paper studies 0.4) *)
+}
+
+val paper_config : config
+(** a = 0.9, Delta = 60 s, threshold = 0.4. *)
+
+val link_bad_confidence : accuracy:float -> up_votes:int -> down_votes:int -> float
+(** The inner average of Equation 3 for one link: each "up" probe
+    contributes (1 - a), each "down" probe contributes a. *)
+
+val path_bad_confidence :
+  config ->
+  observations:Observation.t ->
+  links:int array ->
+  drop_time:float ->
+  exclude_prober:int ->
+  ?visible:(int -> bool) ->
+  unit ->
+  float
+(** Equation 3 over a full path: the fuzzy OR (max) across links of the
+    per-link confidence. Links with no probe results in the window are
+    skipped; if no link has any result the confidence is 0 (nothing
+    suggests the network failed, so the forwarder absorbs the blame).
+    [visible] restricts the probers whose snapshots the judge actually
+    holds (default: everyone); the judged node is excluded regardless. *)
+
+val blame :
+  config ->
+  observations:Observation.t ->
+  links:int array ->
+  drop_time:float ->
+  exclude_prober:int ->
+  ?visible:(int -> bool) ->
+  unit ->
+  float
+(** Equation 2: 1 - {!path_bad_confidence}. *)
+
+val blame_of_observations :
+  config -> grouped:(int * bool) list array -> float
+(** Pure form used by accusation verification: [grouped.(i)] lists
+    (prober, up) votes for the i-th link; returns 1 - max-link confidence.
+    The caller has already applied windowing and prober exclusion. *)
+
+type verdict = Guilty | Innocent
+
+val verdict_of_blame : config -> float -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,82 @@
+module Id = Concilium_overlay.Id
+module Leaf_set = Concilium_overlay.Leaf_set
+module Pastry = Concilium_overlay.Pastry
+module Pki = Concilium_crypto.Pki
+module Signed = Concilium_crypto.Signed
+
+type record_key = string (* accuser|accused|drop_time: idempotence key *)
+
+type t = {
+  pastry : Pastry.t;
+  replication : int;
+  stores : (record_key, Id.t * Accusation.t) Hashtbl.t array; (* per node: dht key + record *)
+}
+
+let create ~pastry ~replication =
+  if replication < 1 then invalid_arg "Dht.create: replication must be >= 1";
+  {
+    pastry;
+    replication;
+    stores = Array.init (Pastry.node_count pastry) (fun _ -> Hashtbl.create 8);
+  }
+
+let key_of_public_key public_key =
+  Id.of_name ("accusation-key|" ^ Pki.public_key_to_string public_key)
+
+let replica_nodes t ~key =
+  let root = Pastry.numerically_closest t.pastry key in
+  let root_node = Pastry.node t.pastry root in
+  let neighbors =
+    List.filter_map
+      (fun id -> Pastry.index_of_id t.pastry id)
+      (Leaf_set.members root_node.Pastry.leaf_set)
+  in
+  (* Root first, then leaf-set members by ring proximity to the key. *)
+  let by_distance =
+    List.sort
+      (fun a b ->
+        Id.compare
+          (Id.ring_distance (Pastry.node t.pastry a).Pastry.id key)
+          (Id.ring_distance (Pastry.node t.pastry b).Pastry.id key))
+      (List.filter (fun n -> n <> root) neighbors)
+  in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  root :: take (t.replication - 1) by_distance
+
+let record_key accusation =
+  let body = Signed.payload accusation in
+  Printf.sprintf "%s|%s|%.6f" (Id.to_hex body.Accusation.accuser)
+    (Id.to_hex body.Accusation.accused)
+    body.Accusation.evidence.Accusation.drop_time
+
+let route_hops t ~from ~target =
+  let dest = (Pastry.node t.pastry target).Pastry.id in
+  max 0 (List.length (Pastry.route t.pastry ~from ~dest) - 1)
+
+let put t ~from ~accused_key accusation ~hops =
+  let key = key_of_public_key accused_key in
+  let record = record_key accusation in
+  List.iter
+    (fun replica ->
+      hops := !hops + route_hops t ~from ~target:replica;
+      Hashtbl.replace t.stores.(replica) record (key, accusation))
+    (replica_nodes t ~key)
+
+let get t ~from ~accused_key ~hops =
+  let key = key_of_public_key accused_key in
+  match replica_nodes t ~key with
+  | [] -> []
+  | replica :: _ ->
+      hops := !hops + route_hops t ~from ~target:replica;
+      Hashtbl.fold
+        (fun _ (stored_key, accusation) acc ->
+          if Id.equal stored_key key then accusation :: acc else acc)
+        t.stores.(replica) []
+
+let stored_count t ~node = Hashtbl.length t.stores.(node)
+
+let total_records t =
+  Array.fold_left (fun acc store -> acc + Hashtbl.length store) 0 t.stores

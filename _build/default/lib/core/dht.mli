@@ -1,0 +1,38 @@
+(** Accusation repository: a replicated DHT atop the secure overlay
+    (paper Section 3.4).
+
+    Accusations are stored under the hash of the accused's public key at
+    the key's root node and its closest leaf-set neighbors. Puts and gets
+    route over the overlay (hop counts are reported so protocol overhead
+    can be metered); in a deployment both would use Castro's secure
+    routing primitives, which the simulator's route function stands in
+    for. *)
+
+module Id = Concilium_overlay.Id
+module Pastry = Concilium_overlay.Pastry
+module Pki = Concilium_crypto.Pki
+
+type t
+
+val create : pastry:Pastry.t -> replication:int -> t
+(** [replication] total copies per record (root plus neighbors). *)
+
+val key_of_public_key : Pki.public_key -> Id.t
+
+val replica_nodes : t -> key:Id.t -> int list
+(** The nodes responsible for a key: its root and the root's nearest
+    leaf-set members, [replication] in total. *)
+
+val put :
+  t -> from:int -> accused_key:Pki.public_key -> Accusation.t -> hops:int ref -> unit
+(** Route the accusation from node [from] to every replica of the accused's
+    key, storing it there; duplicate accusations (same accuser, accused,
+    drop time) are idempotent. [hops] accumulates overlay hops consumed. *)
+
+val get : t -> from:int -> accused_key:Pki.public_key -> hops:int ref -> Accusation.t list
+(** Fetch accusations for a public key via the first reachable replica. *)
+
+val stored_count : t -> node:int -> int
+(** Number of records a node holds (for storage-balance checks). *)
+
+val total_records : t -> int

@@ -1,0 +1,650 @@
+module Id = Concilium_overlay.Id
+module Pastry = Concilium_overlay.Pastry
+module Engine = Concilium_netsim.Engine
+module Link_state = Concilium_netsim.Link_state
+module Routes = Concilium_topology.Routes
+module Observation = Concilium_tomography.Observation
+module Probing = Concilium_tomography.Probing
+module Logical_tree = Concilium_tomography.Logical_tree
+module Sha256 = Concilium_crypto.Sha256
+module Prng = Concilium_util.Prng
+
+let log_source = Logs.Src.create "concilium.protocol" ~doc:"Concilium protocol runtime"
+
+module Log = (val Logs.src_log log_source : Logs.LOG)
+
+type behavior =
+  | Honest
+  | Message_dropper of float
+  | Probe_flipper
+  | Commitment_refuser
+  | Silent_dropper
+  | Sparse_advertiser of float
+
+type config = {
+  blame : Blame.config;
+  window_size : int;
+  accusation_m : int;
+  max_probe_time : float;
+  dht_replication : int;
+  heavyweight_rounds : int;
+  heavyweight_loss_threshold : float;
+}
+
+let default_config =
+  {
+    blame = Blame.paper_config;
+    window_size = 100;
+    accusation_m = 6;
+    max_probe_time = 120.;
+    dht_replication = 4;
+    heavyweight_rounds = 50;
+    heavyweight_loss_threshold = 0.3;
+  }
+
+let probe_packet_bytes = 30 (* IP + UDP headers + 16-bit nonce, Section 4.4 *)
+
+type outcome = {
+  message_id : string;
+  delivered : bool;
+  route : int list;
+  drop : drop option;
+  diagnosis : Stewardship.resolution option;
+  no_commitment_from : int option;
+}
+
+and drop =
+  | Dropped_by_overlay of int
+  | Dropped_on_ip_link of int
+  | Ack_lost_on_link of int
+  | Hop_offline of int  (** the next hop was churned out when the message arrived *)
+
+type t = {
+  world : World.t;
+  engine : Engine.t;
+  link_state : Link_state.t;
+  rng : Prng.t;
+  config : config;
+  behavior : int -> behavior;
+  availability : time:float -> int -> bool;
+  observations : Observation.t;
+  windows : (int * int, Accusation.evidence Verdict_window.t) Hashtbl.t;
+  dht : Dht.t;
+  control_bytes : int array;
+  (* Previous advertised per-peer path status, for snapshot diffs. *)
+  last_advertised : bool array option array;
+  mutable message_seq : int;
+}
+
+let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> true) config
+    ~behavior =
+  {
+    world;
+    engine;
+    link_state;
+    rng;
+    config;
+    behavior;
+    availability;
+    observations = Observation.create ();
+    windows = Hashtbl.create 256;
+    dht = Dht.create ~pastry:world.World.pastry ~replication:config.dht_replication;
+    control_bytes = Array.make (World.node_count world) 0;
+    last_advertised = Array.make (World.node_count world) None;
+    message_seq = 0;
+  }
+
+let observations t = t.observations
+let dht t = t.dht
+let world t = t.world
+
+(* ---------- Lightweight probing ---------- *)
+
+let run_probe_round t v =
+  let tree = t.world.World.trees.(v) in
+  let logical = t.world.World.logical.(v) in
+  let loss_of_link link = Link_state.loss_rate t.link_state link in
+  let now = Engine.now t.engine in
+  (* Offline routing peers cannot acknowledge (churn looks like total ack
+     suppression from the prober's vantage). Leaf indices map to overlay
+     nodes through the leaf's router. *)
+  let leaves = Concilium_tomography.Tree.leaves tree in
+  let behavior leaf_index =
+    let router = Concilium_tomography.Tree.router_of tree leaves.(leaf_index) in
+    match World.node_of_router t.world router with
+    | Some peer when not (t.availability ~time:now peer) -> Probing.Suppress_acks 1.0
+    | Some _ | None -> Probing.Honest
+  in
+  let round = Probing.probe_round ~rng:t.rng ~loss_of_link ~tree ~behavior () in
+  let verdicts = Probing.classify_round logical round.Probing.acked in
+  (* The paper's disambiguation rule (Section 3.2): silent peers get a few
+     follow-up probes to distinguish "truly offline" from "behind a lossy
+     link". A leaf confirmed offline yields no last-mile observation — its
+     chain must not be probed "down" when the links are fine. *)
+  let logical_leaves = Logical_tree.leaves logical in
+  Array.iteri
+    (fun leaf_index logical_node ->
+      let router = Concilium_tomography.Tree.router_of tree leaves.(leaf_index) in
+      match World.node_of_router t.world router with
+      | Some peer when not (t.availability ~time:now peer) ->
+          verdicts.(logical_node) <- Probing.Indeterminate
+      | Some _ | None -> ())
+    logical_leaves;
+  let flip = match t.behavior v with Probe_flipper -> true | _ -> false in
+  Array.iteri
+    (fun node verdict ->
+      let record up =
+        let up = if flip then not up else up in
+        Array.iter
+          (fun link ->
+            Observation.record t.observations
+              { Observation.time = now; prober = v; link; up })
+          (Logical_tree.chain logical node)
+      in
+      match verdict with
+      | Probing.Probed_up -> record true
+      | Probing.Probed_down -> record false
+      | Probing.Indeterminate -> ())
+    verdicts;
+  (* Bandwidth accounting (Section 4.4): the probe stripe itself, plus the
+     snapshot advertisement to every routing peer — the full table on first
+     exchange, a diff of changed path summaries after. *)
+  let leaf_count = Array.length leaves in
+  let peer_count = Array.length t.world.World.peers.(v) in
+  let entry_bytes = 145 and header_and_signature = 20 + 128 in
+  let advert_entries =
+    match t.last_advertised.(v) with
+    | None -> leaf_count
+    | Some previous ->
+        let changed = ref 0 in
+        Array.iteri
+          (fun i acked -> if acked <> previous.(i) then incr changed)
+          round.Probing.acked;
+        !changed
+  in
+  t.last_advertised.(v) <- Some (Array.copy round.Probing.acked);
+  t.control_bytes.(v) <-
+    t.control_bytes.(v)
+    + (leaf_count * probe_packet_bytes)
+    + (peer_count * (header_and_signature + (advert_entries * entry_bytes)))
+
+(* Heavyweight tomography (Section 3.2): fired when application messages go
+   unacknowledged. Many striped rounds, MINC inference, and per-link
+   up/down observations at the inferred-loss threshold. *)
+let run_heavyweight_burst t v =
+  if t.config.heavyweight_rounds > 0 then begin
+    let tree = t.world.World.trees.(v) in
+    let logical = t.world.World.logical.(v) in
+    let now = Engine.now t.engine in
+    let loss_of_link link = Link_state.loss_rate t.link_state link in
+    let leaves = Concilium_tomography.Tree.leaves tree in
+    let behavior leaf_index =
+      let router = Concilium_tomography.Tree.router_of tree leaves.(leaf_index) in
+      match World.node_of_router t.world router with
+      | Some peer when not (t.availability ~time:now peer) -> Probing.Suppress_acks 1.0
+      | Some _ | None -> Probing.Honest
+    in
+    let rounds =
+      Probing.probe_rounds ~rng:t.rng ~loss_of_link ~tree ~behavior
+        ~count:t.config.heavyweight_rounds ()
+    in
+    let estimate = Concilium_tomography.Minc.infer_from_rounds logical rounds in
+    let flip = match t.behavior v with Probe_flipper -> true | _ -> false in
+    (* Offline leaves' chains carry no information (Section 3.2's
+       disambiguation): skip them. *)
+    let skip = Array.make (Logical_tree.node_count logical) false in
+    Array.iteri
+      (fun leaf_index logical_node ->
+        let router = Concilium_tomography.Tree.router_of tree leaves.(leaf_index) in
+        match World.node_of_router t.world router with
+        | Some peer when not (t.availability ~time:now peer) -> skip.(logical_node) <- true
+        | Some _ | None -> ())
+      (Logical_tree.leaves logical);
+    for node = 1 to Logical_tree.node_count logical - 1 do
+      (* Only chains the estimator actually saw data for. *)
+      if
+        (not skip.(node))
+        && estimate.Concilium_tomography.Minc.gamma.(Logical_tree.parent logical node) > 0.
+      then begin
+        let up =
+          Concilium_tomography.Minc.link_loss estimate node
+          < t.config.heavyweight_loss_threshold
+        in
+        let up = if flip then not up else up in
+        Array.iter
+          (fun link ->
+            Observation.record t.observations
+              { Observation.time = now; prober = v; link; up })
+          (Logical_tree.chain logical node)
+      end
+    done;
+    t.control_bytes.(v) <-
+      t.control_bytes.(v)
+      + (t.config.heavyweight_rounds * Array.length leaves * probe_packet_bytes)
+  end
+
+(* ---------- Routing-state advertisement and validation (Section 3.1) ---------- *)
+
+type advertisement_report = {
+  advertiser : int;
+  validator : int;
+  failures : Validation.failure list;
+}
+
+let build_advertisement t v =
+  let now = Engine.now t.engine in
+  let pastry_node = Pastry.node t.world.World.pastry v in
+  let peers = t.world.World.peers.(v) in
+  let keep_fraction =
+    match t.behavior v with Sparse_advertiser f -> f | _ -> 1.
+  in
+  let kept =
+    Array.to_list peers
+    |> List.filteri (fun i _ ->
+           keep_fraction >= 1.
+           || float_of_int i < keep_fraction *. float_of_int (Array.length peers))
+  in
+  (* Each referenced peer supplies a fresh signed stamp, as piggybacked on
+     availability-probe responses. *)
+  let summaries =
+    List.map
+      (fun peer ->
+        let peer_id = World.id_of t.world peer in
+        {
+          Concilium_tomography.Snapshot.peer = peer_id;
+          loss_level = 0;
+          freshness =
+            Concilium_overlay.Freshness.issue ~holder:peer_id
+              ~secret:t.world.World.secrets.(peer)
+              ~public:(World.public_key_of t.world peer)
+              ~now;
+        })
+      kept
+  in
+  let snapshot =
+    Concilium_tomography.Snapshot.make ~origin:pastry_node.Pastry.id
+      ~secret:t.world.World.secrets.(v)
+      ~public:(World.public_key_of t.world v)
+      ~now ~summaries
+  in
+  let true_occupancy =
+    Concilium_overlay.Routing_table.occupancy pastry_node.Pastry.table
+  in
+  let advertised_occupancy =
+    int_of_float (Float.round (keep_fraction *. float_of_int true_occupancy))
+  in
+  {
+    Validation.snapshot;
+    jump_table_occupancy = min true_occupancy advertised_occupancy;
+    leaf_set = pastry_node.Pastry.leaf_set;
+  }
+
+let exchange_advertisements t =
+  let now = Engine.now t.engine in
+  let reports = ref [] in
+  for advertiser = 0 to World.node_count t.world - 1 do
+    if t.availability ~time:now advertiser then begin
+      let advertisement = build_advertisement t advertiser in
+      t.control_bytes.(advertiser) <-
+        t.control_bytes.(advertiser)
+        + (Array.length t.world.World.peers.(advertiser)
+          * Concilium_tomography.Snapshot.wire_bytes advertisement.Validation.snapshot);
+      Array.iter
+        (fun validator ->
+          if t.availability ~time:now validator then begin
+            let validator_node = Pastry.node t.world.World.pastry validator in
+            let local =
+              {
+                Validation.own_jump_occupancy =
+                  Concilium_overlay.Routing_table.occupancy validator_node.Pastry.table;
+                own_leaf_set = validator_node.Pastry.leaf_set;
+              }
+            in
+            let failures =
+              Validation.check t.world.World.pki ~now
+                { Validation.default_config with Validation.gamma_jump = 1.3 }
+                ~local advertisement
+            in
+            if failures <> [] then
+              reports := { advertiser; validator; failures } :: !reports
+          end)
+        t.world.World.peers.(advertiser)
+    end
+  done;
+  List.rev !reports
+
+let control_bytes_sent t v = t.control_bytes.(v)
+
+let mean_control_bytes_per_second t ~horizon =
+  if horizon <= 0. then 0.
+  else begin
+    let total = Array.fold_left ( + ) 0 t.control_bytes in
+    float_of_int total /. float_of_int (World.node_count t.world) /. horizon
+  end
+
+let start_probing t ~horizon =
+  for v = 0 to World.node_count t.world - 1 do
+    let rec loop engine =
+      if Engine.now engine < horizon then begin
+        (* Offline hosts issue no probes this round but keep their timer. *)
+        if t.availability ~time:(Engine.now engine) v then run_probe_round t v;
+        let delay = Probing.schedule_jitter ~rng:t.rng ~max_probe_time:t.config.max_probe_time in
+        if Engine.now engine +. delay < horizon then Engine.schedule engine ~delay loop
+      end
+    in
+    let first = Probing.schedule_jitter ~rng:t.rng ~max_probe_time:t.config.max_probe_time in
+    Engine.schedule t.engine ~delay:first loop
+  done
+
+(* ---------- Judgment machinery ---------- *)
+
+let window_for t ~judge ~suspect =
+  match Hashtbl.find_opt t.windows (judge, suspect) with
+  | Some w -> w
+  | None ->
+      let w = Verdict_window.create ~window_size:t.config.window_size in
+      Hashtbl.replace t.windows (judge, suspect) w;
+      w
+
+let visible_to t judge prober =
+  prober = judge || Array.exists (( = ) prober) t.world.World.peers.(judge)
+
+(* Collect the signed per-link votes a judge can present as evidence: the
+   window-relevant observations of its own forest, re-signed here as they
+   would appear inside the provers' archived snapshots. *)
+let gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment =
+  let lo = drop_time -. t.config.blame.Blame.delta in
+  let hi = drop_time +. t.config.blame.Blame.delta in
+  let link_votes =
+    Array.to_list links
+    |> List.filter_map (fun link ->
+           let votes =
+             List.filter_map
+               (fun obs ->
+                 let prober = obs.Observation.prober in
+                 if prober = suspect || not (visible_to t judge prober) then None
+                 else
+                   Some
+                     (Accusation.make_vote ~prober:(World.id_of t.world prober)
+                        ~secret:t.world.World.secrets.(prober)
+                        ~public:(World.public_key_of t.world prober)
+                        ~link ~time:obs.Observation.time ~up:obs.Observation.up))
+               (Observation.on_link t.observations ~link ~lo ~hi)
+           in
+           if votes = [] then None else Some { Accusation.link; votes })
+  in
+  { Accusation.path_links = links; link_votes; drop_time; commitment }
+
+let judge_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
+  let blame =
+    Blame.blame t.config.blame ~observations:t.observations ~links ~drop_time
+      ~exclude_prober:suspect ~visible:(visible_to t judge) ()
+  in
+  let verdict = Blame.verdict_of_blame t.config.blame blame in
+  Log.debug (fun m ->
+      m "node %d judges %d: blame %.3f -> %a" judge suspect blame Blame.pp_verdict verdict);
+  let evidence = gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment in
+  let window = window_for t ~judge ~suspect in
+  Verdict_window.record window { Verdict_window.verdict; blame; drop_time; evidence };
+  (* Escalate to a formal accusation when the window crosses m. *)
+  if
+    (match verdict with Blame.Guilty -> true | Blame.Innocent -> false)
+    && Verdict_window.should_accuse window ~m:t.config.accusation_m
+  then begin
+    (* The formal statement carries the archived evidence of every other
+       guilty verdict in the window (the newest IS the primary evidence). *)
+    let supporting =
+      List.filter_map
+        (fun entry ->
+          if entry.Verdict_window.evidence == evidence then None
+          else Some entry.Verdict_window.evidence)
+        (Verdict_window.guilty_entries window)
+    in
+    match
+      Accusation.make
+        ~accuser:(World.id_of t.world judge)
+        ~secret:t.world.World.secrets.(judge)
+        ~public:(World.public_key_of t.world judge)
+        ~accused:(World.id_of t.world suspect)
+        ~config:t.config.blame ~evidence ~supporting ~now:drop_time
+    with
+    | accusation ->
+        Log.info (fun m ->
+            m "node %d files a formal accusation against %d (%d guilty in window)" judge
+              suspect
+              (Verdict_window.guilty_count window));
+        let hops = ref 0 in
+        Dht.put t.dht ~from:judge
+          ~accused_key:(World.public_key_of t.world suspect)
+          accusation ~hops
+    | exception Invalid_argument _ ->
+        (* The archived evidence no longer clears the threshold (probe data
+           may have aged out of the window); the accusation is not filed. *)
+        ()
+  end;
+  (verdict, blame)
+
+let guilty_count t ~judge ~suspect =
+  match Hashtbl.find_opt t.windows (judge, suspect) with
+  | Some w -> Verdict_window.guilty_count w
+  | None -> 0
+
+let fetch_accusations t ~from ~accused =
+  let hops = ref 0 in
+  Dht.get t.dht ~from ~accused_key:(World.public_key_of t.world accused) ~hops
+
+(* ---------- Message lifecycle ---------- *)
+
+type hop_fate = {
+  node : int;
+  received : bool;
+  committed : bool;  (** issued a forwarding commitment to its upstream *)
+  forwarded : bool;
+}
+
+let fresh_message_id t ~from ~dest =
+  t.message_seq <- t.message_seq + 1;
+  Sha256.hex_digest
+    (Printf.sprintf "msg|%d|%s|%d|%.6f" from (Id.to_hex dest) t.message_seq
+       (Engine.now t.engine))
+
+let transmit_over_path t path =
+  (* Per-link Bernoulli loss using the instantaneous link state. *)
+  let links = path.Routes.links in
+  let rec walk i =
+    if i >= Array.length links then Ok ()
+    else if Prng.bernoulli t.rng (Link_state.loss_rate t.link_state links.(i)) then
+      Error links.(i)
+    else walk (i + 1)
+  in
+  walk 0
+
+let send_message t ~from ~dest ~payload ~on_outcome =
+  ignore payload;
+  let message_id = fresh_message_id t ~from ~dest in
+  let route = World.overlay_route t.world ~from ~dest in
+  let hops = Array.of_list route in
+  let hop_count = Array.length hops in
+  let now = Engine.now t.engine in
+  (* Walk the route, recording each hop's fate. *)
+  let fates =
+    Array.map (fun node -> { node; received = false; committed = false; forwarded = false }) hops
+  in
+  fates.(0) <- { (fates.(0)) with received = true; committed = true; forwarded = true };
+  let drop = ref None in
+  let commitments = Hashtbl.create 8 in
+  let index = ref 0 in
+  while !drop = None && !index < hop_count - 1 do
+    let i = !index in
+    let a = hops.(i) and b = hops.(i + 1) in
+    (* Does a (for i > 0, a forwarder) actually forward? *)
+    let a_forwards =
+      i = 0
+      ||
+      match t.behavior a with
+      | Message_dropper p -> not (Prng.bernoulli t.rng p)
+      | Silent_dropper -> false
+      | Honest | Probe_flipper | Commitment_refuser | Sparse_advertiser _ -> true
+    in
+    if not a_forwards then begin
+      fates.(i) <- { (fates.(i)) with forwarded = false };
+      drop := Some (Dropped_by_overlay a)
+    end
+    else begin
+      fates.(i) <- { (fates.(i)) with forwarded = true };
+      match World.ip_path t.world ~from_node:a ~to_node:b with
+      | None -> drop := Some (Dropped_by_overlay a) (* should not happen *)
+      | Some path -> (
+          match transmit_over_path t path with
+          | Error link -> drop := Some (Dropped_on_ip_link link)
+          | Ok () when not (t.availability ~time:now b) -> drop := Some (Hop_offline b)
+          | Ok () ->
+              fates.(i + 1) <- { (fates.(i + 1)) with received = true };
+              let refuses =
+                match t.behavior b with
+                | Commitment_refuser | Silent_dropper -> true
+                | Honest | Message_dropper _ | Probe_flipper | Sparse_advertiser _ -> false
+              in
+              if not refuses then begin
+                fates.(i + 1) <- { (fates.(i + 1)) with committed = true };
+                let commitment =
+                  Commitment.issue
+                    ~forwarder:(World.id_of t.world b)
+                    ~secret:t.world.World.secrets.(b)
+                    ~public:(World.public_key_of t.world b)
+                    ~sender:(World.id_of t.world a) ~destination:dest ~message_id ~now
+                in
+                Hashtbl.replace commitments b commitment
+              end;
+              incr index)
+    end
+  done;
+  (* Ack travels the reverse path when the destination received. *)
+  let delivered_to_root = !drop = None in
+  let ack_ok = ref delivered_to_root in
+  if delivered_to_root then begin
+    let rec ack_walk i =
+      (* ack hop: hops.(i+1) -> hops.(i). Peer relations are asymmetric, so
+         the known route is the forward one; the ack retraces its physical
+         links in reverse (per-link loss is direction-agnostic here). *)
+      if i < 0 then ()
+      else begin
+        match World.ip_path t.world ~from_node:hops.(i) ~to_node:hops.(i + 1) with
+        | None -> ack_walk (i - 1)
+        | Some path -> (
+            match transmit_over_path t path with
+            | Ok () -> ack_walk (i - 1)
+            | Error link ->
+                ack_ok := false;
+                drop := Some (Ack_lost_on_link link))
+      end
+    in
+    ack_walk (hop_count - 2)
+  end;
+  if !ack_ok then
+    on_outcome
+      {
+        message_id;
+        delivered = true;
+        route;
+        drop = None;
+        diagnosis = None;
+        no_commitment_from = None;
+      }
+  else begin
+    (* No acknowledgment: every steward that saw the message judges its next
+       hop once the probe window closes. *)
+    let judge_at = now +. t.config.blame.Blame.delta in
+    Engine.schedule_at t.engine ~time:judge_at (fun _ ->
+        let judgments = Hashtbl.create 8 in
+        let no_commitment = ref None in
+        (* A missing ack triggers heavyweight tomography at every steward
+           that saw the message (Section 3.2). *)
+        for i = 0 to hop_count - 2 do
+          if
+            fates.(i).received && fates.(i).forwarded
+            && t.availability ~time:(Engine.now t.engine) hops.(i)
+          then run_heavyweight_burst t hops.(i)
+        done;
+        for i = 0 to hop_count - 2 do
+          let a_fate = fates.(i) in
+          let b_fate = fates.(i + 1) in
+          if
+            a_fate.received && a_fate.forwarded
+            && t.availability ~time:(Engine.now t.engine) hops.(i)
+          then begin
+            let a = hops.(i) and b = hops.(i + 1) in
+            match Hashtbl.find_opt commitments b with
+            | None ->
+                (* b never received it, or refuses commitments: a cannot
+                   prove anything about b. If tomography shows the a->b
+                   path bad, blame the network; otherwise fall back to the
+                   reputation system (Section 3.6). *)
+                if not b_fate.committed then begin
+                  let links =
+                    match World.ip_path t.world ~from_node:a ~to_node:b with
+                    | Some path -> path.Routes.links
+                    | None -> [||]
+                  in
+                  let confidence =
+                    Blame.path_bad_confidence t.config.blame ~observations:t.observations
+                      ~links ~drop_time:now ~exclude_prober:b
+                      ~visible:(visible_to t a) ()
+                  in
+                  if confidence >= 1. -. t.config.blame.Blame.guilt_threshold then
+                    Hashtbl.replace judgments a
+                      {
+                        Stewardship.judge = a;
+                        target = Stewardship.Network;
+                        blame = 1. -. confidence;
+                        evidence_valid = true;
+                        pushed = true;
+                      }
+                  else if !no_commitment = None then no_commitment := Some b
+                end
+            | Some commitment ->
+                (* a judges b over b's egress path (b to its next hop), or
+                   over a->b when b is the final hop (its ack went missing). *)
+                let egress_links =
+                  if i + 2 < hop_count then
+                    match World.ip_path t.world ~from_node:b ~to_node:hops.(i + 2) with
+                    | Some path -> path.Routes.links
+                    | None -> [||]
+                  else begin
+                    match World.ip_path t.world ~from_node:a ~to_node:b with
+                    | Some path -> path.Routes.links
+                    | None -> [||]
+                  end
+                in
+                let verdict, blame =
+                  judge_suspect t ~judge:a ~suspect:b ~links:egress_links ~drop_time:now
+                    ~commitment
+                in
+                let target =
+                  match verdict with
+                  | Blame.Guilty -> Stewardship.Next_hop b
+                  | Blame.Innocent -> Stewardship.Network
+                in
+                let pushed =
+                  match t.behavior a with
+                  | Message_dropper _ | Silent_dropper ->
+                      false (* culpable nodes sit on their verdicts *)
+                  | Honest | Probe_flipper | Commitment_refuser | Sparse_advertiser _ -> true
+                in
+                Hashtbl.replace judgments a
+                  { Stewardship.judge = a; target; blame; evidence_valid = true; pushed }
+          end
+        done;
+        let diagnosis =
+          Stewardship.resolve ~first_judge:hops.(0) ~judgment_of:(Hashtbl.find_opt judgments)
+        in
+        on_outcome
+          {
+            message_id;
+            delivered = false;
+            route;
+            drop = !drop;
+            diagnosis = Some diagnosis;
+            no_commitment_from = !no_commitment;
+          })
+  end

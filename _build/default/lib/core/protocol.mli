@@ -1,0 +1,125 @@
+(** The integrated Concilium protocol runtime: one object that runs
+    lightweight probing, message forwarding with commitments and
+    stewardship, blame attribution, verdict windows, formal accusations and
+    DHT publication over a simulated deployment.
+
+    This module drives small-to-medium worlds end to end (examples and
+    integration tests); the paper-scale experiments use the dedicated
+    drivers in [concilium_experiments], which exploit the same building
+    blocks without paying full-protocol cost per judgment. *)
+
+module Id = Concilium_overlay.Id
+module Engine = Concilium_netsim.Engine
+module Link_state = Concilium_netsim.Link_state
+module Observation = Concilium_tomography.Observation
+module Prng = Concilium_util.Prng
+
+type behavior =
+  | Honest
+  | Message_dropper of float
+      (** drops messages it should forward with this probability *)
+  | Probe_flipper  (** publishes inverted probe results *)
+  | Commitment_refuser  (** forwards but never issues commitments *)
+  | Silent_dropper
+      (** refuses commitments AND drops everything — the Section 3.6
+          adversary that only the reputation system can address *)
+  | Sparse_advertiser of float
+      (** advertises only this fraction of its real routing state,
+          suppressing knowledge of honest peers (the attack the Section 3.1
+          density tests exist to catch) *)
+
+type config = {
+  blame : Blame.config;
+  window_size : int;  (** w *)
+  accusation_m : int;  (** guilty verdicts before a formal accusation *)
+  max_probe_time : float;  (** lightweight probe inter-arrival bound *)
+  dht_replication : int;
+  heavyweight_rounds : int;
+      (** striped rounds a judge fires at its tree when a drop triggers
+          heavyweight tomography (Section 3.2); 0 disables *)
+  heavyweight_loss_threshold : float;
+      (** MINC-inferred loss above which a link is recorded as "down" *)
+}
+
+val default_config : config
+(** Paper parameters: a=0.9, Delta=60 s, threshold 0.4, w=100, m=6,
+    max_probe_time=120 s, 4 replicas, 50 heavyweight rounds at a 30%%
+    loss threshold. *)
+
+type outcome = {
+  message_id : string;
+  delivered : bool;  (** destination got the message AND the ack returned *)
+  route : int list;  (** overlay hops, sender first *)
+  drop : drop option;
+  diagnosis : Stewardship.resolution option;  (** present when not delivered *)
+  no_commitment_from : int option;
+      (** a hop that never produced a forwarding commitment (it either never
+          received the message, or refuses commitments); only the
+          complementary reputation system can act on it *)
+}
+
+and drop =
+  | Dropped_by_overlay of int  (** ground truth: this node ate the message *)
+  | Dropped_on_ip_link of int  (** ground truth: this link lost it *)
+  | Ack_lost_on_link of int
+  | Hop_offline of int  (** the next hop was churned out when the message arrived *)
+
+type t
+
+val create :
+  world:World.t ->
+  engine:Engine.t ->
+  link_state:Link_state.t ->
+  rng:Prng.t ->
+  ?availability:(time:float -> int -> bool) ->
+  config ->
+  behavior:(int -> behavior) ->
+  t
+(** [availability] reports whether an overlay node is online at a virtual
+    time (default: always). Offline nodes do not probe, do not acknowledge
+    probes aimed at them, and silently lose messages routed through them —
+    the churn dimension the paper's evaluation held fixed. Pair with
+    {!Concilium_netsim.Churn}. *)
+
+val start_probing : t -> horizon:float -> unit
+(** Schedule every node's lightweight probe loop up to the horizon. *)
+
+val send_message :
+  t -> from:int -> dest:Id.t -> payload:string -> on_outcome:(outcome -> unit) -> unit
+(** Route a message and, if it goes unacknowledged, run the full diagnosis
+    (judgments at drop time + Delta, stewardship resolution, accusations).
+    [on_outcome] fires once the diagnosis completes (or immediately after
+    the ack returns). *)
+
+val observations : t -> Observation.t
+val dht : t -> Dht.t
+val world : t -> World.t
+
+val guilty_count : t -> judge:int -> suspect:int -> int
+(** Guilty verdicts currently in the judge's window for the suspect. *)
+
+type advertisement_report = {
+  advertiser : int;
+  validator : int;
+  failures : Validation.failure list;
+}
+
+val exchange_advertisements : t -> advertisement_report list
+(** One full routing-state exchange (Section 3.1/3.2): every node builds a
+    signed snapshot of its routing state — honest nodes faithfully,
+    [Sparse_advertiser]s with entries suppressed — with fresh stamps from
+    the referenced peers, and each of its routing peers validates it
+    (signature, freshness, jump-table occupancy, leaf-set spacing).
+    Returns every (advertiser, validator) pair that failed at least one
+    check; bandwidth is charged to the advertisers. *)
+
+val control_bytes_sent : t -> int -> int
+(** Control-plane bytes a node has sent: lightweight probes, heavyweight
+    probing bursts, and snapshot advertisements (full on first exchange,
+    diffs after — the Section 4.4 optimisation). Compare with
+    {!Bandwidth}'s analytic figures. *)
+
+val mean_control_bytes_per_second : t -> horizon:float -> float
+
+val fetch_accusations : t -> from:int -> accused:int -> Accusation.t list
+(** What a prospective peer learns about [accused] from the DHT. *)

@@ -1,0 +1,32 @@
+type policy =
+  | Distrust_sensitive
+  | Avoid_in_standard_routing
+  | Universal_blacklist of { accusations_per_hour : float }
+
+type peer_record = { verified_accusations : int; observation_hours : float }
+type action = No_action | Distrust | Route_around | Blacklist
+
+let evaluate policy record =
+  if record.verified_accusations <= 0 then No_action
+  else begin
+    match policy with
+    | Distrust_sensitive -> Distrust
+    | Avoid_in_standard_routing -> Route_around
+    | Universal_blacklist { accusations_per_hour } ->
+        if record.observation_hours <= 0. then No_action
+        else if
+          float_of_int record.verified_accusations /. record.observation_hours
+          >= accusations_per_hour
+        then Blacklist
+        else No_action
+  end
+
+let allows_leaf_set_eviction _ = false
+
+let pp_action fmt action =
+  Format.pp_print_string fmt
+    (match action with
+    | No_action -> "no action"
+    | Distrust -> "distrust for sensitive traffic"
+    | Route_around -> "avoid in standard routing"
+    | Blacklist -> "universal blacklist")

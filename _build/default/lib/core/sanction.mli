@@ -1,0 +1,29 @@
+(** Sanctioning policies (paper Section 3.7).
+
+    Concilium identifies faults but leaves the response to the deploying
+    network. The paper sketches a spectrum, reproduced here: distrust the
+    peer for sensitive traffic, avoid it in standard (non-secure) routing,
+    or blacklist it universally once accusations arrive above a rate.
+    The one hard rule: honest nodes must NOT unilaterally evict accused
+    nodes from leaf sets — that causes inconsistent routing and breaks
+    higher-level services (Castro et al., DSN 2004) — so no policy here
+    ever touches leaf sets. *)
+
+type policy =
+  | Distrust_sensitive
+  | Avoid_in_standard_routing
+  | Universal_blacklist of { accusations_per_hour : float }
+
+type peer_record = {
+  verified_accusations : int;
+  observation_hours : float;  (** period over which they accumulated *)
+}
+
+type action = No_action | Distrust | Route_around | Blacklist
+
+val evaluate : policy -> peer_record -> action
+
+val allows_leaf_set_eviction : policy -> bool
+(** Always [false]; exists so callers encode the invariant explicitly. *)
+
+val pp_action : Format.formatter -> action -> unit

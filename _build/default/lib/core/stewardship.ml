@@ -1,0 +1,75 @@
+type target = Next_hop of int | Network
+
+type judgment = {
+  judge : int;
+  target : target;
+  blame : float;
+  evidence_valid : bool;
+  pushed : bool;
+}
+
+type resolution = {
+  final : target option;
+  exonerated : int list;
+  judgments_used : int;
+}
+
+let resolve ~first_judge ~judgment_of =
+  let visited = Hashtbl.create 16 in
+  let rec walk exonerated used ~own_verdict =
+    match own_verdict with
+    | None ->
+        (* This judge issued nothing. If it is the first judge there is no
+           diagnosis; otherwise the caller handles it. *)
+        { final = None; exonerated = List.rev exonerated; judgments_used = used }
+    | Some judgment -> (
+        match judgment.target with
+        | Network ->
+            { final = Some Network; exonerated = List.rev exonerated; judgments_used = used + 1 }
+        | Next_hop suspect -> (
+            if Hashtbl.mem visited suspect then
+              (* Malformed (cyclic) chain: stop at the current suspect. *)
+              {
+                final = Some (Next_hop suspect);
+                exonerated = List.rev exonerated;
+                judgments_used = used + 1;
+              }
+            else begin
+              Hashtbl.replace visited suspect ();
+              match judgment_of suspect with
+              | Some pushed_verdict when pushed_verdict.pushed && pushed_verdict.evidence_valid
+                ->
+                  (* The suspect shifts blame downstream: exonerate it and
+                     adopt its verdict. *)
+                  walk (suspect :: exonerated) (used + 1) ~own_verdict:(Some pushed_verdict)
+              | Some _ | None ->
+                  (* No verdict, an unverifiable one, or a withheld one:
+                     the suspect keeps the blame. *)
+                  {
+                    final = Some (Next_hop suspect);
+                    exonerated = List.rev exonerated;
+                    judgments_used = used + 1;
+                  }
+            end))
+  in
+  Hashtbl.replace visited first_judge ();
+  walk [] 0 ~own_verdict:(judgment_of first_judge)
+
+let chain_of_route ~hops ~faulty ~judge =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  let rec saw_message acc = function
+    | [] -> List.rev acc
+    | (a, b) :: rest ->
+        (* Hop a saw the message; it judges b. If a is the faulty hop it
+           dropped the message, so nobody downstream saw it. *)
+        if faulty a then List.rev acc
+        else begin
+          match judge ~judge:a ~suspect:b with
+          | Some j -> saw_message (j :: acc) rest
+          | None -> saw_message acc rest
+        end
+  in
+  saw_message [] (pairs hops)

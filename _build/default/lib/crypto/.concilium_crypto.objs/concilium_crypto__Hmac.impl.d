@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Buffer Bytes Char Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/nonce.ml: Concilium_util Int64 Printf

@@ -1,0 +1,1 @@
+lib/crypto/pki.ml: Concilium_util Hashtbl Hmac List Printf Sha256 String

@@ -1,0 +1,17 @@
+let block_size = 64
+
+let sha256 ~key message =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  let xor_with byte =
+    String.init block_size (fun i -> Char.chr (Char.code (Bytes.get padded i) lxor byte))
+  in
+  let inner = Sha256.digest (xor_with 0x36 ^ message) in
+  Sha256.digest (xor_with 0x5C ^ inner)
+
+let sha256_hex ~key message =
+  let raw = sha256 ~key message in
+  let buffer = Buffer.create 64 in
+  String.iter (fun c -> Buffer.add_string buffer (Printf.sprintf "%02x" (Char.code c))) raw;
+  Buffer.contents buffer

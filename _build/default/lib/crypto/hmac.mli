@@ -1,0 +1,6 @@
+(** HMAC-SHA256 (RFC 2104), checked against RFC 4231 test vectors. *)
+
+val sha256 : key:string -> string -> string
+(** 32-byte raw MAC. *)
+
+val sha256_hex : key:string -> string -> string

@@ -1,0 +1,11 @@
+module Prng = Concilium_util.Prng
+
+type t = int64
+
+let generator ~seed =
+  let rng = Prng.of_seed seed in
+  fun () -> Prng.int64 rng
+
+let equal = Int64.equal
+let to_string = Printf.sprintf "%016Lx"
+let wire_bytes = 2

@@ -1,0 +1,14 @@
+(** Probe nonces (paper Section 3.3): a leaf cannot acknowledge a probe it
+    never received because it cannot guess the nonce. *)
+
+type t
+
+val generator : seed:int64 -> unit -> t
+(** A fresh nonce source; each call of the returned thunk yields a new
+    unpredictable nonce. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val wire_bytes : int
+(** Paper Section 4.4 budgets 16 bits per probe nonce. *)

@@ -1,0 +1,13 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch and checked against the
+    official test vectors in the test suite. *)
+
+val digest : string -> string
+(** 32-byte raw digest. *)
+
+val hex_digest : string -> string
+(** Lowercase hex rendering of {!digest}. *)
+
+val digest_list : string list -> string
+(** Digest of the length-prefixed concatenation of the inputs. Unlike plain
+    concatenation this is unambiguous: [["ab"; "c"]] and [["a"; "bc"]] hash
+    differently, so composite protocol messages can be hashed field-wise. *)

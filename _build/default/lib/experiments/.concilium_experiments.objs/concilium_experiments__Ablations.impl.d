@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Blame_world Concilium_core Concilium_tomography Concilium_util Output Printf

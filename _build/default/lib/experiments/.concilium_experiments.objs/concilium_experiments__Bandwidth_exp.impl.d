@@ -1,0 +1,1 @@
+lib/experiments/bandwidth_exp.ml: Array Concilium_core List Output Printf

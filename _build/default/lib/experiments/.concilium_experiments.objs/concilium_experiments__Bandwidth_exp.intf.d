@@ -1,0 +1,1 @@
+lib/experiments/bandwidth_exp.mli: Output

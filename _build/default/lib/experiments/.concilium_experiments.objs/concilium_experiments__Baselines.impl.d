@@ -1,0 +1,1 @@
+lib/experiments/baselines.ml: Blame_world Concilium_util Int64 List Output Printf

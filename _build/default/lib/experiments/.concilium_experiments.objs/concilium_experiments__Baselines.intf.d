@@ -1,0 +1,1 @@
+lib/experiments/baselines.mli: Blame_world Output

@@ -1,0 +1,1 @@
+lib/experiments/blame_world.ml: Array Concilium_core Concilium_netsim Concilium_stats Concilium_topology Concilium_util Float Hashtbl Int64 List Output Printf

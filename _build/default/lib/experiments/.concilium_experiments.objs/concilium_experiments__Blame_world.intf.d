@@ -1,0 +1,1 @@
+lib/experiments/blame_world.mli: Concilium_core Concilium_stats Concilium_util Output

@@ -1,0 +1,1 @@
+lib/experiments/chord_exp.ml: Array Concilium_overlay Concilium_stats Concilium_util Float List Output Printf

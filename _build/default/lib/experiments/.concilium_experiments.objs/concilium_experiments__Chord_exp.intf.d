@@ -1,0 +1,1 @@
+lib/experiments/chord_exp.mli: Output

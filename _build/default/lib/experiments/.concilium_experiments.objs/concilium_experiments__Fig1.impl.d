@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Array Concilium_overlay Concilium_stats Concilium_util List Output

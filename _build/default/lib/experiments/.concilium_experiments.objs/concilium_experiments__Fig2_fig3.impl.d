@@ -1,0 +1,1 @@
+lib/experiments/fig2_fig3.ml: Array Concilium_overlay List Output Printf

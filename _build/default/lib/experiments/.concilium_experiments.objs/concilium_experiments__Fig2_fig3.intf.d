@@ -1,0 +1,1 @@
+lib/experiments/fig2_fig3.mli: Concilium_overlay Output

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Concilium_core Concilium_tomography Concilium_topology Concilium_util List Output Printf

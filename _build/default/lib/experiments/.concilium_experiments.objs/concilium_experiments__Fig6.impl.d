@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Concilium_core List Output Printf

@@ -1,0 +1,1 @@
+lib/experiments/output.ml: Buffer Char Filename Fun List Printf String Sys

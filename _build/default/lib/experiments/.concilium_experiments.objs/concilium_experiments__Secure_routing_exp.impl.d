@@ -1,0 +1,1 @@
+lib/experiments/secure_routing_exp.ml: Array Concilium_overlay Concilium_util List Output Printf

@@ -1,0 +1,1 @@
+lib/experiments/secure_routing_exp.mli: Output

@@ -1,0 +1,33 @@
+module World = Concilium_core.World
+
+(** Ablations over Concilium's design choices (beyond the paper's own
+    figures). Each returns a printable table:
+
+    - {!self_exclusion}: Section 3.4 excludes the judged node's own probe
+      results from Equation 3 so it cannot exculpate itself. Disabling the
+      rule under collusion shows how many guilty verdicts the droppers
+      would dodge.
+    - {!delta_sensitivity}: the probe window half-width Delta trades
+      evidence volume against staleness.
+    - {!probe_rate_sensitivity}: slower lightweight probing
+      (max_probe_time) thins the evidence inside the window.
+    - {!visibility}: forest-limited snapshot dissemination (the protocol's
+      reality) vs a hypothetical global gossip of all snapshots.
+    - {!probe_consolidation}: Section 3.7's shared stub probing — the
+      amortisation actually achieved by co-resident hosts in the simulated
+      world. *)
+
+val self_exclusion : world:World.t -> samples:int -> seed:int64 -> Output.table
+
+val delta_sensitivity :
+  world:World.t -> deltas:float array -> samples:int -> seed:int64 -> Output.table
+
+val probe_rate_sensitivity :
+  world:World.t -> max_probe_times:float array -> samples:int -> seed:int64 -> Output.table
+
+val visibility : world:World.t -> samples:int -> seed:int64 -> Output.table
+
+val probe_consolidation :
+  world:World.t -> group_sizes:int array -> seed:int64 -> Output.table
+
+val run_all : world:World.t -> samples:int -> seed:int64 -> Output.table list

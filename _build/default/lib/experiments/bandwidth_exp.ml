@@ -1,0 +1,43 @@
+module Bandwidth = Concilium_core.Bandwidth
+
+let default_sizes = [| 1_000; 10_000; 100_000; 1_000_000 |]
+
+let run ~sizes =
+  let paper =
+    {
+      Output.title =
+        "Section 4.4: bandwidth model at paper parameters (expected: ~77 entries, ~11.5 KB \
+         state, ~16.7 MiB probing)";
+      header = [ "quantity"; "value"; "unit" ];
+      rows =
+        List.map
+          (fun row ->
+            [
+              row.Bandwidth.label;
+              Printf.sprintf "%.2f" row.Bandwidth.value;
+              row.Bandwidth.unit_;
+            ])
+          (Bandwidth.report Bandwidth.paper_params);
+    }
+  in
+  let sweep =
+    {
+      Output.title = "Section 4.4: overhead vs overlay size";
+      header =
+        [ "overlay size"; "routing entries"; "advertised state (KiB)"; "heavy probing (MiB)" ];
+      rows =
+        Array.to_list
+          (Array.map
+             (fun n ->
+               let params = { Bandwidth.paper_params with Bandwidth.overlay_size = n } in
+               [
+                 Output.cell_i n;
+                 Printf.sprintf "%.1f" (Bandwidth.expected_routing_entries params);
+                 Printf.sprintf "%.2f" (Bandwidth.advertised_state_bytes params /. 1024.);
+                 Printf.sprintf "%.2f"
+                   (Bandwidth.heavyweight_probe_bytes params /. (1024. *. 1024.));
+               ])
+             sizes);
+    }
+  in
+  [ paper; sweep ]

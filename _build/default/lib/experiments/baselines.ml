@@ -1,0 +1,97 @@
+module Prng = Concilium_util.Prng
+
+type row = {
+  label : string;
+  overall_accuracy : float;
+  network_fault_accuracy : float;
+  node_fault_accuracy : float;
+}
+
+type result = {
+  rows : row list;
+  network_fault_samples : int;
+  node_fault_samples : int;
+}
+
+let run blame_world ~samples =
+  let config = Blame_world.config blame_world in
+  let rng = Prng.of_seed (Int64.add config.Blame_world.seed 0xBA5EL) in
+  (* Counters: (says-network when network, says-node when node). *)
+  let network_total = ref 0 and node_total = ref 0 in
+  let concilium_network = ref 0 and concilium_node = ref 0 in
+  let collected = ref 0 and attempts = ref 0 in
+  while !collected < samples && !attempts < 200 * samples do
+    incr attempts;
+    match Blame_world.sample_judgment blame_world ~rng with
+    | None -> ()
+    | Some judgment ->
+        incr collected;
+        let says_node =
+          judgment.Blame_world.blame >= config.Blame_world.guilt_threshold
+        in
+        if judgment.Blame_world.path_actually_good then begin
+          (* Ground truth: the forwarder dropped it. *)
+          incr node_total;
+          if says_node then incr concilium_node
+        end
+        else begin
+          incr network_total;
+          if not says_node then incr concilium_network
+        end
+  done;
+  let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+  let total = !network_total + !node_total in
+  let overall_of ~network_correct ~node_correct =
+    ratio (network_correct + node_correct) total
+  in
+  let concilium =
+    {
+      label = "Concilium (Eq. 2, 40% threshold)";
+      overall_accuracy = overall_of ~network_correct:!concilium_network ~node_correct:!concilium_node;
+      network_fault_accuracy = ratio !concilium_network !network_total;
+      node_fault_accuracy = ratio !concilium_node !node_total;
+    }
+  in
+  (* RON: every drop is the network's fault. *)
+  let ron =
+    {
+      label = "RON-style (always blame network)";
+      overall_accuracy = overall_of ~network_correct:!network_total ~node_correct:0;
+      network_fault_accuracy = 1.;
+      node_fault_accuracy = 0.;
+    }
+  in
+  (* Naive: every drop convicts the next hop. *)
+  let naive =
+    {
+      label = "Naive (always blame next hop)";
+      overall_accuracy = overall_of ~network_correct:0 ~node_correct:!node_total;
+      network_fault_accuracy = 0.;
+      node_fault_accuracy = 1.;
+    }
+  in
+  {
+    rows = [ concilium; ron; naive ];
+    network_fault_samples = !network_total;
+    node_fault_samples = !node_total;
+  }
+
+let table result =
+  {
+    Output.title =
+      Printf.sprintf
+        "Baselines: per-drop diagnosis accuracy vs ground truth (%d network-fault, %d \
+         node-fault drops)"
+        result.network_fault_samples result.node_fault_samples;
+    header = [ "diagnoser"; "overall"; "on network faults"; "on node faults" ];
+    rows =
+      List.map
+        (fun row ->
+          [
+            row.label;
+            Output.cell_pct row.overall_accuracy;
+            Output.cell_pct row.network_fault_accuracy;
+            Output.cell_pct row.node_fault_accuracy;
+          ])
+        result.rows;
+  }

@@ -1,0 +1,27 @@
+(** Baseline comparators from the paper's related work (Section 5).
+
+    - *RON-style*: resilient overlay networks always ascribe loss to the
+      network; misbehaving overlay nodes must be found by human operators.
+    - *Naive next-hop*: the opposite prior — every unacknowledged message
+      convicts the forwarder (a reputation system with no tomography).
+    - *Concilium*: Equation 2 blame with the 40% threshold.
+
+    All three are judged against the simulator's ground truth over the same
+    random drops, so the table quantifies exactly what collaborative
+    tomography buys. *)
+
+type row = {
+  label : string;
+  overall_accuracy : float;
+  network_fault_accuracy : float;  (** drops truly caused by a bad link *)
+  node_fault_accuracy : float;  (** drops truly caused by the forwarder *)
+}
+
+type result = {
+  rows : row list;
+  network_fault_samples : int;
+  node_fault_samples : int;
+}
+
+val run : Blame_world.t -> samples:int -> result
+val table : result -> Output.table

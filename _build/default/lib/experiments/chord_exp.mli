@@ -1,0 +1,21 @@
+(** Generalising the density test to Chord (paper Section 3.1: "the test
+    can be extended to other overlays in a straightforward manner").
+
+    The finger-interval occupancy of a Chord node is Poisson-binomial just
+    like a Pastry jump table's slot occupancy, so the identical analytic
+    machinery yields the model-vs-Monte-Carlo comparison (Figure 1's
+    analogue) and the gamma-test error rates (Figure 2's analogue). *)
+
+type point = {
+  n : int;
+  analytic_mean : float;
+  monte_carlo_mean : float;
+  route_length : float;  (** mean overlay hops, for the log N check *)
+}
+
+val run : seed:int64 -> sizes:int array -> trials:int -> point list
+val occupancy_table : point list -> Output.table
+
+val error_rates_table : n:int -> colluding_fractions:float array -> Output.table
+(** Density-test FP/FN at the optimal gamma when an adversary advertises a
+    finger table drawn from its colluders only. *)

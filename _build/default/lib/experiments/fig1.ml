@@ -1,0 +1,50 @@
+module Jump_table_model = Concilium_overlay.Jump_table_model
+module Routing_table = Concilium_overlay.Routing_table
+module Poisson_binomial = Concilium_stats.Poisson_binomial
+module Descriptive = Concilium_stats.Descriptive
+module Prng = Concilium_util.Prng
+
+type point = {
+  n : int;
+  analytic_mean : float;
+  analytic_std : float;
+  monte_carlo_mean : float;
+  monte_carlo_std : float;
+}
+
+let default_sizes = [| 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 |]
+
+let run ~seed ~sizes ~trials =
+  let rng = Prng.of_seed seed in
+  let slots = float_of_int (Routing_table.rows * Routing_table.columns) in
+  Array.to_list
+    (Array.map
+       (fun n ->
+         let model = Jump_table_model.model ~n in
+         let samples = Jump_table_model.monte_carlo_occupancy ~rng ~n ~trials in
+         let summary = Descriptive.summarize samples in
+         {
+           n;
+           analytic_mean = model.Poisson_binomial.mu_phi /. slots;
+           analytic_std = model.Poisson_binomial.sigma_phi /. slots;
+           monte_carlo_mean = summary.Descriptive.mean;
+           monte_carlo_std = summary.Descriptive.stddev;
+         })
+       sizes)
+
+let table points =
+  {
+    Output.title = "Figure 1: jump-table occupancy, analytic model vs Monte Carlo";
+    header = [ "N"; "model mean"; "model std"; "MC mean"; "MC std" ];
+    rows =
+      List.map
+        (fun p ->
+          [
+            Output.cell_i p.n;
+            Output.cell_f p.analytic_mean;
+            Output.cell_f p.analytic_std;
+            Output.cell_f p.monte_carlo_mean;
+            Output.cell_f p.monte_carlo_std;
+          ])
+        points;
+  }

@@ -1,0 +1,14 @@
+(** Figure 1: the analytic jump-table occupancy model against Monte-Carlo
+    simulation of actual secure-table construction, across overlay sizes. *)
+
+type point = {
+  n : int;
+  analytic_mean : float;  (** occupancy fraction *)
+  analytic_std : float;
+  monte_carlo_mean : float;
+  monte_carlo_std : float;
+}
+
+val run : seed:int64 -> sizes:int array -> trials:int -> point list
+val default_sizes : int array
+val table : point list -> Output.table

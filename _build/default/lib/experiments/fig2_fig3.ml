@@ -1,0 +1,77 @@
+module Density_test = Concilium_overlay.Density_test
+
+type sweep_row = { gamma : float; per_c : (float * Density_test.rates) list }
+type optimal_row = { c : float; best_gamma : float; rates : Density_test.rates }
+type result = { sweep : sweep_row list; optimal : optimal_row list }
+
+let default_gammas = Array.init 21 (fun i -> 1.0 +. (0.05 *. float_of_int i))
+let default_fractions = [| 0.05; 0.1; 0.15; 0.2; 0.25; 0.3 |]
+
+let run ~n ~suppression ~gammas ~colluding_fractions =
+  let scenario c = { Density_test.n; colluding_fraction = c; suppression } in
+  let sweep =
+    Array.to_list
+      (Array.map
+         (fun gamma ->
+           {
+             gamma;
+             per_c =
+               Array.to_list
+                 (Array.map
+                    (fun c -> (c, Density_test.rates ~gamma (scenario c)))
+                    colluding_fractions);
+           })
+         gammas)
+  in
+  (* A denser gamma grid for the optimum than for the printed sweep. *)
+  let fine_gammas = Array.init 101 (fun i -> 1.0 +. (0.01 *. float_of_int i)) in
+  let optimal =
+    Array.to_list
+      (Array.map
+         (fun c ->
+           let best_gamma, rates = Density_test.optimal_gamma ~gammas:fine_gammas (scenario c) in
+           { c; best_gamma; rates })
+         colluding_fractions)
+  in
+  { sweep; optimal }
+
+let tables ~figure result =
+  let fractions = List.map fst (List.hd result.sweep).per_c in
+  let header = "gamma" :: List.map (fun c -> Printf.sprintf "c=%.0f%%" (100. *. c)) fractions in
+  let rate_table ~title ~select =
+    {
+      Output.title;
+      header;
+      rows =
+        List.map
+          (fun row ->
+            Printf.sprintf "%.2f" row.gamma
+            :: List.map (fun (_, rates) -> Output.cell_pct (select rates)) row.per_c)
+          result.sweep;
+    }
+  in
+  [
+    rate_table
+      ~title:(figure ^ "(a): false positive probability")
+      ~select:(fun r -> r.Density_test.false_positive);
+    rate_table
+      ~title:(figure ^ "(b): false negative probability")
+      ~select:(fun r -> r.Density_test.false_negative);
+    {
+      Output.title = figure ^ "(c): error rates at the gamma minimising their sum";
+      header = [ "c"; "best gamma"; "false positive"; "false negative"; "sum" ];
+      rows =
+        List.map
+          (fun row ->
+            [
+              Printf.sprintf "%.0f%%" (100. *. row.c);
+              Printf.sprintf "%.2f" row.best_gamma;
+              Output.cell_pct row.rates.Density_test.false_positive;
+              Output.cell_pct row.rates.Density_test.false_negative;
+              Output.cell_pct
+                (row.rates.Density_test.false_positive
+                +. row.rates.Density_test.false_negative);
+            ])
+          result.optimal;
+    };
+  ]

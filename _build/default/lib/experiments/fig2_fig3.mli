@@ -1,0 +1,30 @@
+(** Figures 2 and 3: density-test error rates as a function of the slack
+    factor gamma and the colluding fraction c — Figure 2 without identifier
+    suppression, Figure 3 with it (the [suppression] flag selects). Panel
+    (c) picks, per c, the gamma minimising the summed error. *)
+
+type sweep_row = {
+  gamma : float;
+  per_c : (float * Concilium_overlay.Density_test.rates) list;  (** (c, rates) *)
+}
+
+type optimal_row = {
+  c : float;
+  best_gamma : float;
+  rates : Concilium_overlay.Density_test.rates;
+}
+
+type result = { sweep : sweep_row list; optimal : optimal_row list }
+
+val run :
+  n:int ->
+  suppression:bool ->
+  gammas:float array ->
+  colluding_fractions:float array ->
+  result
+
+val default_gammas : float array
+val default_fractions : float array
+
+val tables : figure:string -> result -> Output.table list
+(** Three tables: false positives, false negatives, min-sum optimum. *)

@@ -1,0 +1,99 @@
+module World = Concilium_core.World
+module Graph = Concilium_topology.Graph
+module Tree = Concilium_tomography.Tree
+module Bitset = Concilium_util.Bitset
+module Prng = Concilium_util.Prng
+
+type point = {
+  trees_included : int;
+  mean_coverage : float;
+  mean_vouchers : float;
+  hosts : int;
+}
+
+let run ~world ~rng ~host_sample =
+  let graph = world.World.generated.World.Generate.graph in
+  let link_count = Graph.link_count graph in
+  let node_count = World.node_count world in
+  let sample_size = min host_sample node_count in
+  let sampled = Prng.sample_without_replacement rng sample_size node_count in
+  let max_peers =
+    Array.fold_left
+      (fun acc host -> max acc (Array.length world.World.peers.(host)))
+      0 sampled
+  in
+  let coverage_sum = Array.make (max_peers + 1) 0. in
+  let voucher_sum = Array.make (max_peers + 1) 0. in
+  let host_count = Array.make (max_peers + 1) 0 in
+  Array.iter
+    (fun host ->
+      let forest = World.forest_links world host in
+      let forest_size = float_of_int (Array.length forest) in
+      if forest_size > 0. then begin
+        let covered = Bitset.create link_count in
+        let covered_count = ref 0 in
+        let vouch_total = ref 0 in
+        let include_tree index =
+          Array.iter
+            (fun link ->
+              incr vouch_total;
+              if not (Bitset.mem covered link) then begin
+                Bitset.add covered link;
+                incr covered_count
+              end)
+            (Tree.physical_links world.World.trees.(index))
+        in
+        let record k =
+          coverage_sum.(k) <- coverage_sum.(k) +. (float_of_int !covered_count /. forest_size);
+          (* Vouchers averaged over links covered so far. *)
+          let denominator = max 1 !covered_count in
+          voucher_sum.(k) <-
+            voucher_sum.(k) +. (float_of_int !vouch_total /. float_of_int denominator);
+          host_count.(k) <- host_count.(k) + 1
+        in
+        include_tree host;
+        record 0;
+        let order = Array.copy world.World.peers.(host) in
+        Prng.shuffle rng order;
+        Array.iteri
+          (fun i peer ->
+            include_tree peer;
+            record (i + 1))
+          order
+      end)
+    sampled;
+  List.filter_map
+    (fun k ->
+      if host_count.(k) = 0 then None
+      else
+        Some
+          {
+            trees_included = k;
+            mean_coverage = coverage_sum.(k) /. float_of_int host_count.(k);
+            mean_vouchers = voucher_sum.(k) /. float_of_int host_count.(k);
+            hosts = host_count.(k);
+          })
+    (List.init (max_peers + 1) (fun k -> k))
+
+let table ?(max_rows = 30) points =
+  let total = List.length points in
+  let stride = max 1 (total / max_rows) in
+  let rows =
+    List.filteri
+      (fun i _ -> i mod stride = 0 || i = total - 1)
+      points
+  in
+  {
+    Output.title = "Figure 4: peer trees sampled vs forest link coverage";
+    header = [ "peer trees"; "coverage"; "mean vouchers/link"; "hosts" ];
+    rows =
+      List.map
+        (fun p ->
+          [
+            Output.cell_i p.trees_included;
+            Output.cell_pct p.mean_coverage;
+            Printf.sprintf "%.2f" p.mean_vouchers;
+            Output.cell_i p.hosts;
+          ])
+        rows;
+  }

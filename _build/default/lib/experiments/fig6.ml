@@ -1,0 +1,42 @@
+module Accusation_model = Concilium_core.Accusation_model
+
+type input = { label : string; p_good : float; p_faulty : float }
+type row = { m : int; false_positive : float; false_negative : float }
+type result = { input : input; rows : row list; recommended_m : int option }
+
+let run ~w ~max_m input =
+  let rows =
+    List.init (min max_m w) (fun i ->
+        let m = i + 1 in
+        {
+          m;
+          false_positive = Accusation_model.false_positive ~w ~m ~p_good:input.p_good;
+          false_negative = Accusation_model.false_negative ~w ~m ~p_faulty:input.p_faulty;
+        })
+  in
+  let recommended_m =
+    Accusation_model.smallest_m_below ~w ~p_good:input.p_good ~p_faulty:input.p_faulty
+      ~target:0.01
+  in
+  { input; rows; recommended_m }
+
+let table ~w result =
+  {
+    Output.title =
+      Printf.sprintf
+        "Figure 6 (%s): accusation error vs m (w=%d, p_good=%.3f, p_faulty=%.3f)%s"
+        result.input.label w result.input.p_good result.input.p_faulty
+        (match result.recommended_m with
+        | Some m -> Printf.sprintf " -- both rates < 1%% from m=%d" m
+        | None -> " -- no m drives both rates below 1%");
+    header = [ "m"; "Pr(false positive)"; "Pr(false negative)" ];
+    rows =
+      List.map
+        (fun r ->
+          [
+            Output.cell_i r.m;
+            Printf.sprintf "%.6f" r.false_positive;
+            Printf.sprintf "%.6f" r.false_negative;
+          ])
+        result.rows;
+  }

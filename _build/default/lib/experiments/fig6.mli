@@ -1,0 +1,19 @@
+(** Figure 6: formal accusation error rates vs m (w = 100), driven by the
+    per-drop verdict probabilities measured in Figure 5. *)
+
+type input = { label : string; p_good : float; p_faulty : float }
+
+type row = {
+  m : int;
+  false_positive : float;
+  false_negative : float;
+}
+
+type result = {
+  input : input;
+  rows : row list;
+  recommended_m : int option;  (** least m with both rates below 1% *)
+}
+
+val run : w:int -> max_m:int -> input -> result
+val table : w:int -> result -> Output.table

@@ -1,0 +1,75 @@
+type table = { title : string; header : string list; rows : string list list }
+
+let cell_f x = Printf.sprintf "%.4f" x
+let cell_pct x = Printf.sprintf "%.2f%%" (100. *. x)
+let cell_i = string_of_int
+
+let print table =
+  let all = table.header :: table.rows in
+  let columns = List.length table.header in
+  let width column =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row column)))
+      0
+      (List.filter (fun row -> List.length row = columns) all)
+  in
+  let widths = List.init columns width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let pad = List.nth widths i - String.length cell in
+           if i = 0 then cell ^ String.make (max 0 pad) ' '
+           else String.make (max 0 pad) ' ' ^ cell)
+         row)
+  in
+  Printf.printf "\n== %s ==\n" table.title;
+  print_endline (render table.header);
+  print_endline (String.make (String.length (render table.header)) '-');
+  List.iter (fun row -> print_endline (render row)) table.rows
+
+let slug title =
+  let buffer = Buffer.create 48 in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> Buffer.add_char buffer c
+      | 'A' .. 'Z' -> Buffer.add_char buffer (Char.lowercase_ascii c)
+      | ' ' | '-' | '_' | ':' | '/' ->
+          if Buffer.length buffer > 0 && Buffer.nth buffer (Buffer.length buffer - 1) <> '-'
+          then Buffer.add_char buffer '-'
+      | _ -> ())
+    title;
+  let s = Buffer.contents buffer in
+  let s = if String.length s > 60 then String.sub s 0 60 else s in
+  if s = "" then "table" else s
+
+let rec mkdir_recursive dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_recursive parent;
+    Sys.mkdir dir 0o755
+  end
+
+let write_tsv ~dir table =
+  mkdir_recursive dir;
+  let path = Filename.concat dir (slug table.title ^ ".tsv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc ("# " ^ table.title ^ "\n");
+      output_string oc (String.concat "\t" table.header ^ "\n");
+      List.iter (fun row -> output_string oc (String.concat "\t" row ^ "\n")) table.rows);
+  path
+
+let tsv_dir = ref None
+let set_tsv_dir dir = tsv_dir := dir
+
+let emit table =
+  print table;
+  match !tsv_dir with
+  | Some dir ->
+      let path = write_tsv ~dir table in
+      Printf.printf "(written to %s)\n" path
+  | None -> ()

@@ -1,0 +1,27 @@
+(** Row-oriented output helpers shared by the experiment drivers. Every
+    experiment prints plain aligned columns so results can be diffed against
+    EXPERIMENTS.md and piped into plotting tools. *)
+
+type table = { title : string; header : string list; rows : string list list }
+
+val print : table -> unit
+
+val write_tsv : dir:string -> table -> string
+(** Write the table as a TSV file (named from a slug of the title) under
+    [dir], creating the directory if needed; returns the path written.
+    Handy for feeding gnuplot/matplotlib when regenerating the figures. *)
+
+val set_tsv_dir : string option -> unit
+(** Direct {!emit} to also write TSV into the given directory. *)
+
+val emit : table -> unit
+(** Like {!print}, and additionally writes TSV when a directory was set
+    via {!set_tsv_dir}. *)
+
+val cell_f : float -> string
+(** Fixed 4-decimal rendering. *)
+
+val cell_pct : float -> string
+(** A probability as a percentage with 2 decimals. *)
+
+val cell_i : int -> string

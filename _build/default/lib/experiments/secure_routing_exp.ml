@@ -1,0 +1,43 @@
+module Pastry = Concilium_overlay.Pastry
+module Secure_routing = Concilium_overlay.Secure_routing
+module Id = Concilium_overlay.Id
+module Prng = Concilium_util.Prng
+
+type point = { faulty_fraction : float; standard : float; redundant : float }
+
+let default_fractions = [| 0.0; 0.05; 0.1; 0.15; 0.2; 0.25; 0.3; 0.35; 0.4 |]
+
+let run ~seed ~overlay_size ~trials ~fractions =
+  let rng = Prng.of_seed seed in
+  let ids = Array.init overlay_size (fun _ -> Id.random rng) in
+  let overlay = Pastry.build ids in
+  Array.to_list
+    (Array.map
+       (fun faulty_fraction ->
+         {
+           faulty_fraction;
+           standard =
+             Secure_routing.delivery_probability overlay ~rng ~faulty_fraction ~trials
+               ~mode:`Standard;
+           redundant =
+             Secure_routing.delivery_probability overlay ~rng ~faulty_fraction ~trials
+               ~mode:`Redundant;
+         })
+       fractions)
+
+let table points =
+  {
+    Output.title =
+      "Secure routing substrate: delivery probability vs faulty fraction (Castro: redundant \
+       routing delivers w.h.p. while >= 75% of hosts are honest)";
+    header = [ "faulty fraction"; "standard routing"; "secure (redundant)" ];
+    rows =
+      List.map
+        (fun p ->
+          [
+            Printf.sprintf "%.0f%%" (100. *. p.faulty_fraction);
+            Output.cell_pct p.standard;
+            Output.cell_pct p.redundant;
+          ])
+        points;
+  }

@@ -1,0 +1,20 @@
+(** Secure-routing substrate check (paper Section 2).
+
+    Concilium inherits Castro et al.'s guarantee that messages are
+    "delivered with very high probability if the fraction of non-faulty
+    hosts is at least 75%". This experiment measures the delivery rate of
+    standard single-path Pastry routing against leaf-set-redundant secure
+    routing as the faulty fraction grows, checking that the substrate
+    Concilium's accusation traffic rides on actually holds up. *)
+
+type point = {
+  faulty_fraction : float;
+  standard : float;
+  redundant : float;
+}
+
+val run :
+  seed:int64 -> overlay_size:int -> trials:int -> fractions:float array -> point list
+
+val default_fractions : float array
+val table : point list -> Output.table

@@ -1,0 +1,1 @@
+lib/netsim/churn.ml: Array Concilium_util List

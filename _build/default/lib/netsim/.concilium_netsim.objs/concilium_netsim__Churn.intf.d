@@ -1,0 +1,1 @@
+lib/netsim/churn.mli: Concilium_util

@@ -1,0 +1,1 @@
+lib/netsim/failures.ml: Array Concilium_stats Concilium_topology Concilium_util Float Hashtbl Link_history

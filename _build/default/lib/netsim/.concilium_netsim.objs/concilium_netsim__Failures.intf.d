@@ -1,0 +1,1 @@
+lib/netsim/failures.mli: Concilium_topology Concilium_util Link_history

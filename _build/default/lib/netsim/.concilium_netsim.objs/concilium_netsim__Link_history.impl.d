@@ -1,0 +1,1 @@
+lib/netsim/link_history.ml: Array Engine Hashtbl Link_state List

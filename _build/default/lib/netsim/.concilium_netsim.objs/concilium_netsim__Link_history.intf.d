@@ -1,0 +1,1 @@
+lib/netsim/link_history.mli: Engine Link_state

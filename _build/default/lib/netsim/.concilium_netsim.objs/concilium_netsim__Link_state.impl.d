@@ -1,0 +1,1 @@
+lib/netsim/link_state.ml: Array Bytes

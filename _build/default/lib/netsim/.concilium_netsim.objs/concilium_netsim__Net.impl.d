@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Concilium_topology Concilium_util Engine Link_state

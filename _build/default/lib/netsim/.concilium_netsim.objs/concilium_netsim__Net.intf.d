@@ -1,0 +1,1 @@
+lib/netsim/net.mli: Concilium_topology Concilium_util Engine Link_state

@@ -1,0 +1,71 @@
+module Prng = Concilium_util.Prng
+
+type config = {
+  mean_uptime : float;
+  mean_downtime : float;
+  initial_online_fraction : float;
+}
+
+let default_config =
+  { mean_uptime = 7200.; mean_downtime = 600.; initial_online_fraction = 0.95 }
+
+(* Per host: the initial state plus sorted toggle times. State after an even
+   number of toggles equals the initial state. *)
+type t = { initial : bool array; toggles : float array array }
+
+let generate ~rng ~config ~hosts ~duration =
+  if hosts < 0 then invalid_arg "Churn.generate: negative host count";
+  if config.mean_uptime <= 0. || config.mean_downtime <= 0. then
+    invalid_arg "Churn.generate: mean periods must be positive";
+  let initial = Array.init hosts (fun _ -> Prng.bernoulli rng config.initial_online_fraction) in
+  let toggles =
+    Array.init hosts (fun host ->
+        let events = ref [] in
+        let online = ref initial.(host) in
+        let clock = ref 0. in
+        let continue = ref true in
+        while !continue do
+          let mean = if !online then config.mean_uptime else config.mean_downtime in
+          clock := !clock +. Prng.exponential rng ~rate:(1. /. mean);
+          if !clock >= duration then continue := false
+          else begin
+            events := !clock :: !events;
+            online := not !online
+          end
+        done;
+        Array.of_list (List.rev !events))
+  in
+  { initial; toggles }
+
+let is_online t ~host ~time =
+  let toggles = t.toggles.(host) in
+  (* Count toggles at or before [time]; parity flips the initial state. *)
+  let count = Concilium_util.Sorted.upper_bound compare toggles time in
+  if count mod 2 = 0 then t.initial.(host) else not t.initial.(host)
+
+let online_fraction t ~time =
+  let hosts = Array.length t.initial in
+  if hosts = 0 then 0.
+  else begin
+    let online = ref 0 in
+    for host = 0 to hosts - 1 do
+      if is_online t ~host ~time then incr online
+    done;
+    float_of_int !online /. float_of_int hosts
+  end
+
+let transitions t ~host =
+  let online = ref t.initial.(host) in
+  Array.to_list t.toggles.(host)
+  |> List.map (fun time ->
+         online := not !online;
+         (time, !online))
+
+let mean_online_fraction t ~duration ~samples =
+  if samples <= 0 then invalid_arg "Churn.mean_online_fraction: need samples";
+  let acc = ref 0. in
+  for i = 0 to samples - 1 do
+    let time = duration *. (float_of_int i +. 0.5) /. float_of_int samples in
+    acc := !acc +. online_fraction t ~time
+  done;
+  !acc /. float_of_int samples

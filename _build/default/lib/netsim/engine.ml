@@ -1,0 +1,91 @@
+(* Events hold callbacks over [t] while [t] owns the event heap, so the two
+   types are mutually recursive; a specialised inline heap avoids forcing
+   that recursion through a functor. *)
+type event = { time : float; seq : int; action : t -> unit }
+
+and t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable data : event array;
+  mutable size : int;
+}
+
+let create ?(start = 0.) () = { clock = start; next_seq = 0; data = [||]; size = 0 }
+let now t = t.clock
+let pending t = t.size
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && earlier t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t event =
+  if t.size = Array.length t.data then begin
+    let grown = Array.make (max 16 (2 * t.size)) event in
+    Array.blit t.data 0 grown 0 t.size;
+    t.data <- grown
+  end;
+  t.data.(t.size) <- event;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push t { time; seq; action }
+
+let schedule t ~delay action =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some event ->
+      t.clock <- event.time;
+      event.action t;
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  if horizon < t.clock then invalid_arg "Engine.run_until: horizon is in the past";
+  let continue = ref true in
+  while !continue do
+    if t.size > 0 && t.data.(0).time <= horizon then ignore (step t) else continue := false
+  done;
+  t.clock <- horizon

@@ -1,0 +1,26 @@
+(** Discrete-event simulation engine: a virtual clock and an event heap.
+    Events scheduled for the same instant fire in scheduling order. *)
+
+type t
+
+val create : ?start:float -> unit -> t
+val now : t -> float
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** @raise Invalid_argument if [time] is in the simulated past. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** [schedule t ~delay f] = [schedule_at t ~time:(now t +. delay) f];
+    [delay] must be non-negative. *)
+
+val pending : t -> int
+
+val run : t -> unit
+(** Process events until the heap is empty. *)
+
+val run_until : t -> float -> unit
+(** Process every event with time <= the horizon, then advance the clock to
+    the horizon. Later events stay queued. *)
+
+val step : t -> bool
+(** Process one event; [false] if none remained. *)

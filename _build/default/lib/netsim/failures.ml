@@ -1,0 +1,103 @@
+module Prng = Concilium_util.Prng
+module Beta = Concilium_stats.Beta
+module Routes = Concilium_topology.Routes
+
+type config = {
+  target_bad_fraction : float;
+  mean_downtime : float;
+  downtime_stddev : float;
+  depth_alpha : float;
+  depth_beta : float;
+  min_downtime : float;
+}
+
+let paper_config =
+  {
+    target_bad_fraction = 0.05;
+    mean_downtime = 900.;
+    downtime_stddev = 450.;
+    depth_alpha = 0.9;
+    depth_beta = 0.6;
+    min_downtime = 5.;
+  }
+
+type t = {
+  history : Link_history.t;
+  relevant_links : int array;
+  failure_events : int;
+}
+
+let relevant_links_of_routes routes =
+  let seen = Hashtbl.create 4096 in
+  Array.iter
+    (fun path -> Array.iter (fun link -> Hashtbl.replace seen link ()) path.Routes.links)
+    routes;
+  let out = Array.of_seq (Hashtbl.to_seq_keys seen) in
+  Array.sort compare out;
+  out
+
+let pick_victim rng config routes =
+  (* A random overlay route, then a beta-distributed depth along it. The
+     beta's mass near 0 and 1 lands failures on last-mile links at either
+     end; the (lighter) middle lands in the core. *)
+  let rec loop attempts =
+    if attempts = 0 then None
+    else begin
+      let path = Prng.choose rng routes in
+      let hops = Routes.hop_count path in
+      if hops = 0 then loop (attempts - 1)
+      else begin
+        let depth = Beta.sample rng ~alpha:config.depth_alpha ~beta:config.depth_beta in
+        let index = min (hops - 1) (int_of_float (depth *. float_of_int hops)) in
+        Some path.Routes.links.(index)
+      end
+    end
+  in
+  loop 16
+
+let sample_downtime rng config =
+  max config.min_downtime
+    (Prng.gaussian rng ~mu:config.mean_downtime ~sigma:config.downtime_stddev)
+
+let generate ~rng ~config ~link_count ~routes ~duration =
+  if Array.length routes = 0 then invalid_arg "Failures.generate: no routes";
+  if duration <= 0. then invalid_arg "Failures.generate: non-positive duration";
+  let relevant = relevant_links_of_routes routes in
+  if Array.length relevant = 0 then invalid_arg "Failures.generate: routes have no links";
+  let history = Link_history.create ~link_count in
+  let events = ref 0 in
+  let target_concurrent = config.target_bad_fraction *. float_of_int (Array.length relevant) in
+  let fail ~start ~residual_fraction =
+    match pick_victim rng config routes with
+    | None -> ()
+    | Some link ->
+        if not (Link_history.is_bad_at history ~link ~time:start) then begin
+          let downtime = sample_downtime rng config *. residual_fraction in
+          Link_history.add_interval history ~link ~start ~finish:(start +. downtime);
+          incr events
+        end
+  in
+  (* Warm start: the target number of links are already mid-failure, each
+     with a uniform residual fraction of its downtime remaining. *)
+  let warm = int_of_float (Float.round target_concurrent) in
+  for _ = 1 to warm do
+    fail ~start:0. ~residual_fraction:(Prng.uniform rng)
+  done;
+  (* Steady state: Poisson failure arrivals at rate target / mean_downtime
+     keep the expected concurrent-failure count at the target. *)
+  let rate = target_concurrent /. config.mean_downtime in
+  let clock = ref (Prng.exponential rng ~rate) in
+  while !clock < duration do
+    fail ~start:!clock ~residual_fraction:1.;
+    clock := !clock +. Prng.exponential rng ~rate
+  done;
+  { history; relevant_links = relevant; failure_events = !events }
+
+let mean_bad_fraction t ~duration ~samples =
+  if samples <= 0 then invalid_arg "Failures.mean_bad_fraction: need samples";
+  let acc = ref 0. in
+  for i = 0 to samples - 1 do
+    let time = duration *. (float_of_int i +. 0.5) /. float_of_int samples in
+    acc := !acc +. Link_history.bad_fraction_at t.history ~time ~relevant:t.relevant_links
+  done;
+  !acc /. float_of_int samples

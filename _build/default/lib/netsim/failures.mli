@@ -1,0 +1,47 @@
+(** The paper's link-failure workload (Section 4.2):
+
+    - 5% of the route-relevant links are bad at any moment;
+    - downtimes are normal with mean 15 minutes, std-dev 7.5 minutes
+      (clamped to a small positive floor);
+    - the failing link is chosen by picking a random overlay route and a
+      Beta(0.9, 0.6)-distributed depth along it, biasing failures towards
+      the network edge;
+    - the process runs in steady state: the run starts with the target
+      fraction already failed (warm start with residual downtimes).
+
+    The generator is pure: it produces a {!Link_history} timeline that can
+    be queried directly by the blame experiments or replayed onto a
+    {!Link_state} through an {!Engine}. *)
+
+type config = {
+  target_bad_fraction : float;
+  mean_downtime : float;  (** seconds *)
+  downtime_stddev : float;
+  depth_alpha : float;
+  depth_beta : float;
+  min_downtime : float;  (** clamp for the normal's left tail *)
+}
+
+val paper_config : config
+(** 0.05 / 900 s / 450 s / Beta(0.9, 0.6) / 5 s floor. *)
+
+type t = {
+  history : Link_history.t;
+  relevant_links : int array;  (** distinct links appearing in the routes *)
+  failure_events : int;  (** number of bad intervals generated *)
+}
+
+val generate :
+  rng:Concilium_util.Prng.t ->
+  config:config ->
+  link_count:int ->
+  routes:Concilium_topology.Routes.path array ->
+  duration:float ->
+  t
+(** Simulate the failure process over [0, duration] across the given routes.
+    @raise Invalid_argument if [routes] is empty or contains only zero-hop
+    paths. *)
+
+val mean_bad_fraction : t -> duration:float -> samples:int -> float
+(** Time-averaged fraction of relevant links bad, for validating the
+    steady-state target. *)

@@ -1,0 +1,81 @@
+type t = { link_count : int; table : (int, (float * float) list ref) Hashtbl.t }
+
+let create ~link_count =
+  if link_count < 0 then invalid_arg "Link_history.create: negative link count";
+  { link_count; table = Hashtbl.create 4096 }
+
+let link_count t = t.link_count
+
+let check t link =
+  if link < 0 || link >= t.link_count then invalid_arg "Link_history: link out of range"
+
+let add_interval t ~link ~start ~finish =
+  check t link;
+  if finish < start then invalid_arg "Link_history.add_interval: negative duration";
+  match Hashtbl.find_opt t.table link with
+  | Some cell -> cell := (start, finish) :: !cell
+  | None -> Hashtbl.replace t.table link (ref [ (start, finish) ])
+
+let intervals t ~link =
+  check t link;
+  match Hashtbl.find_opt t.table link with Some cell -> List.rev !cell | None -> []
+
+let is_bad_at t ~link ~time =
+  check t link;
+  match Hashtbl.find_opt t.table link with
+  | None -> false
+  | Some cell -> List.exists (fun (start, finish) -> start <= time && time < finish) !cell
+
+let path_is_good_at t ~links ~time =
+  Array.for_all (fun link -> not (is_bad_at t ~link ~time)) links
+
+let bad_links_at t ~time =
+  Hashtbl.fold
+    (fun link cell acc ->
+      if List.exists (fun (start, finish) -> start <= time && time < finish) !cell then
+        link :: acc
+      else acc)
+    t.table []
+  |> List.sort compare
+
+let bad_fraction_at t ~time ~relevant =
+  if Array.length relevant = 0 then 0.
+  else begin
+    let bad = Array.fold_left (fun acc link -> if is_bad_at t ~link ~time then acc + 1 else acc) 0 relevant in
+    float_of_int bad /. float_of_int (Array.length relevant)
+  end
+
+let merged_intervals t ~link ~horizon =
+  let clipped =
+    List.filter_map
+      (fun (start, finish) ->
+        let start = max 0. start and finish = min horizon finish in
+        if finish > start then Some (start, finish) else None)
+      (intervals t ~link)
+  in
+  let sorted = List.sort compare clipped in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | interval :: rest -> (
+        match acc with
+        | (start, finish) :: tail when fst interval <= finish ->
+            merge ((start, max finish (snd interval)) :: tail) rest
+        | _ -> merge (interval :: acc) rest)
+  in
+  merge [] sorted
+
+let total_bad_time t ~link ~horizon =
+  List.fold_left
+    (fun acc (start, finish) -> acc +. (finish -. start))
+    0.
+    (merged_intervals t ~link ~horizon)
+
+let replay t ~engine ~state ~horizon =
+  Hashtbl.iter
+    (fun link _ ->
+      List.iter
+        (fun (start, finish) ->
+          Engine.schedule_at engine ~time:start (fun _ -> Link_state.set_bad state link);
+          Engine.schedule_at engine ~time:finish (fun _ -> Link_state.set_good state link))
+        (merged_intervals t ~link ~horizon))
+    t.table

@@ -1,0 +1,35 @@
+(** Full record of when each link was bad across a simulation run. The
+    blame experiments need the *ground truth* state of arbitrary links at
+    arbitrary instants ("was B->C actually good at time t?"), which this
+    timeline answers without re-running the failure process. *)
+
+type t
+
+val create : link_count:int -> t
+val link_count : t -> int
+
+val add_interval : t -> link:int -> start:float -> finish:float -> unit
+(** Record that [link] was bad during [start, finish). Intervals may
+    overlap; queries treat their union as bad time. *)
+
+val is_bad_at : t -> link:int -> time:float -> bool
+
+val path_is_good_at : t -> links:int array -> time:float -> bool
+
+val intervals : t -> link:int -> (float * float) list
+(** Recorded intervals for a link, in insertion order. *)
+
+val bad_links_at : t -> time:float -> int list
+
+val bad_fraction_at : t -> time:float -> relevant:int array -> float
+(** Fraction of [relevant] links bad at [time]. *)
+
+val total_bad_time : t -> link:int -> horizon:float -> float
+(** Lebesgue measure of the union of a link's bad intervals within
+    [0, horizon]. *)
+
+val replay :
+  t -> engine:Engine.t -> state:Link_state.t -> horizon:float -> unit
+(** Schedule set_bad/set_good events on the engine so that [state] tracks
+    the timeline while the engine runs (intervals clipped to the horizon).
+    Overlapping intervals are merged before scheduling. *)

@@ -1,0 +1,51 @@
+module Prng = Concilium_util.Prng
+module Routes = Concilium_topology.Routes
+
+type t = {
+  engine : Engine.t;
+  state : Link_state.t;
+  rng : Prng.t;
+  per_link_delay : float;
+  sent : int array;
+  received : int array;
+}
+
+let create ~engine ~state ~rng ?(per_link_delay = 0.005) ~node_count () =
+  if per_link_delay < 0. then invalid_arg "Net.create: negative delay";
+  {
+    engine;
+    state;
+    rng;
+    per_link_delay;
+    sent = Array.make node_count 0;
+    received = Array.make node_count 0;
+  }
+
+let engine t = t.engine
+
+let send t ~path ~size_bytes ~on_delivered ?(on_dropped = fun _ ~link:_ -> ()) () =
+  let links = path.Routes.links in
+  let nodes = path.Routes.nodes in
+  let source = nodes.(0) and destination = nodes.(Array.length nodes - 1) in
+  t.sent.(source) <- t.sent.(source) + size_bytes;
+  (* Resolve the packet's fate now (the loss state at send time is what
+     matters at these time scales) and schedule the outcome callback. *)
+  let rec walk i =
+    if i >= Array.length links then None
+    else if Prng.bernoulli t.rng (Link_state.loss_rate t.state links.(i)) then Some i
+    else walk (i + 1)
+  in
+  match walk 0 with
+  | None ->
+      let delay = t.per_link_delay *. float_of_int (Array.length links) in
+      Engine.schedule t.engine ~delay (fun engine ->
+          t.received.(destination) <- t.received.(destination) + size_bytes;
+          on_delivered engine)
+  | Some i ->
+      let delay = t.per_link_delay *. float_of_int (i + 1) in
+      let link = links.(i) in
+      Engine.schedule t.engine ~delay (fun engine -> on_dropped engine ~link)
+
+let bytes_sent t node = t.sent.(node)
+let bytes_received t node = t.received.(node)
+let total_bytes_sent t = Array.fold_left ( + ) 0 t.sent

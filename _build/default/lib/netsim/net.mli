@@ -1,0 +1,37 @@
+(** Packet transmission over IP routes, driven by the {!Engine}.
+
+    Each traversed link independently drops the packet with its current
+    {!Link_state} loss rate and otherwise adds a fixed propagation delay.
+    Outcomes are delivered as engine callbacks, and per-node traffic is
+    metered for the bandwidth analysis. *)
+
+type t
+
+val create :
+  engine:Engine.t ->
+  state:Link_state.t ->
+  rng:Concilium_util.Prng.t ->
+  ?per_link_delay:float ->
+  node_count:int ->
+  unit ->
+  t
+(** [per_link_delay] defaults to 5 ms. [node_count] sizes the traffic
+    meters (indices are router ids). *)
+
+val engine : t -> Engine.t
+
+val send :
+  t ->
+  path:Concilium_topology.Routes.path ->
+  size_bytes:int ->
+  on_delivered:(Engine.t -> unit) ->
+  ?on_dropped:(Engine.t -> link:int -> unit) ->
+  unit ->
+  unit
+(** Transmit one packet along [path]. Exactly one of the callbacks fires,
+    after the appropriate propagation delay. Bytes are charged to the
+    source (sent) and, on delivery, to the destination (received). *)
+
+val bytes_sent : t -> int -> int
+val bytes_received : t -> int -> int
+val total_bytes_sent : t -> int

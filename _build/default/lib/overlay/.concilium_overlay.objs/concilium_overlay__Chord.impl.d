@@ -1,0 +1,1 @@
+lib/overlay/chord.ml: Array Concilium_stats Concilium_util Float Id List Option

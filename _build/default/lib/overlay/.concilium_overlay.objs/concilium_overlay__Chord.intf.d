@@ -1,0 +1,1 @@
+lib/overlay/chord.mli: Concilium_stats Concilium_util Id

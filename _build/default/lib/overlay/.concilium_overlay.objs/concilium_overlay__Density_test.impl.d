@@ -1,0 +1,1 @@
+lib/overlay/density_test.ml: Array Concilium_stats Float Jump_table_model Routing_table

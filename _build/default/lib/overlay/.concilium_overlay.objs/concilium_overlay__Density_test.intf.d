@@ -1,0 +1,1 @@
+lib/overlay/density_test.mli: Concilium_stats

@@ -1,0 +1,1 @@
+lib/overlay/freshness.ml: Concilium_crypto Id Printf

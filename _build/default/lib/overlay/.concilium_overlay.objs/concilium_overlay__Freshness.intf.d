@@ -1,0 +1,1 @@
+lib/overlay/freshness.mli: Concilium_crypto Id

@@ -1,0 +1,1 @@
+lib/overlay/id.ml: Buffer Bytes Char Concilium_crypto Concilium_util Format Printf String

@@ -1,0 +1,1 @@
+lib/overlay/id.mli: Concilium_util Format

@@ -1,0 +1,1 @@
+lib/overlay/jump_table_model.ml: Array Concilium_stats Concilium_util Float Id Routing_table

@@ -1,0 +1,1 @@
+lib/overlay/jump_table_model.mli: Concilium_stats Concilium_util

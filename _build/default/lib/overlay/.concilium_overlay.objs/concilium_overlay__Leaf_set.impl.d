@@ -1,0 +1,1 @@
+lib/overlay/leaf_set.ml: Array Concilium_util Hashtbl Id List

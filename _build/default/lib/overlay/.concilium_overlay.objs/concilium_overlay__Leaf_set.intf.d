@@ -1,0 +1,1 @@
+lib/overlay/leaf_set.mli: Id

@@ -1,0 +1,1 @@
+lib/overlay/pastry.ml: Array Concilium_util Hashtbl Id Leaf_set List Option Routing_table

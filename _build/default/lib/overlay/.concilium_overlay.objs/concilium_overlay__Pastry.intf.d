@@ -1,0 +1,1 @@
+lib/overlay/pastry.mli: Concilium_util Id Leaf_set Routing_table

@@ -1,0 +1,1 @@
+lib/overlay/routing_table.ml: Array Concilium_util Id Option

@@ -1,0 +1,1 @@
+lib/overlay/routing_table.mli: Concilium_util Id

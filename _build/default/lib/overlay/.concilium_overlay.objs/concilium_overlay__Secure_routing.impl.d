@@ -1,0 +1,1 @@
+lib/overlay/secure_routing.ml: Array Concilium_util Float Id Leaf_set List Pastry

@@ -1,0 +1,1 @@
+lib/overlay/secure_routing.mli: Concilium_util Id Pastry

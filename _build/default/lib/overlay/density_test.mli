@@ -1,0 +1,49 @@
+(** Concilium's jump-table density (occupancy) test and its analytic error
+    rates (paper Sections 3.1 and 4.1).
+
+    A peer's advertised table is deemed suspicious when
+    [gamma * d_peer < d_local] for a slack factor gamma > 1: the peer's
+    occupancy is too low to be a plausible sample from the honest occupancy
+    distribution. An adversary advertising a table populated only by its
+    colluders (a c-fraction of the overlay) produces occupancies distributed
+    as a legitimate table in an overlay of N*c nodes, which the test is
+    tuned to reject. *)
+
+type verdict = [ `Acceptable | `Suspicious ]
+
+val check : gamma:float -> local_occupancy:int -> peer_occupancy:int -> verdict
+(** The runtime test a node applies to an advertised table. *)
+
+type rates = { false_positive : float; false_negative : float }
+
+val false_positive_rate :
+  gamma:float ->
+  local:Concilium_stats.Poisson_binomial.t ->
+  peer:Concilium_stats.Poisson_binomial.t ->
+  float
+(** Pr(gamma * d_peer < d_local) for an honest peer:
+    sum over local occupancies d of Pr(local = d) * Pr(peer < d / gamma),
+    with the paper's continuity correction on the band term. *)
+
+val false_negative_rate :
+  gamma:float ->
+  local:Concilium_stats.Poisson_binomial.t ->
+  advertised:Concilium_stats.Poisson_binomial.t ->
+  float
+(** Pr(gamma * d_peer >= d_local) for a malicious advertised table:
+    sum over advertised occupancies d of Pr(adv = d) * Pr(local < gamma*d). *)
+
+type scenario = {
+  n : int;  (** overlay size *)
+  colluding_fraction : float;  (** c: largest coordinated malicious set *)
+  suppression : bool;
+      (** whether colluders also run identifier-suppression attacks, skewing
+          the honest occupancy distributions (Figure 3); the skew applied is
+          described in DESIGN.md *)
+}
+
+val rates : gamma:float -> scenario -> rates
+
+val optimal_gamma : gammas:float array -> scenario -> float * rates
+(** The gamma among [gammas] minimising false_positive + false_negative,
+    with the resulting rates (paper Figures 2(c) and 3(c)). *)

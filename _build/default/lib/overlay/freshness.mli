@@ -1,0 +1,28 @@
+(** Signed freshness timestamps (paper Section 3.1).
+
+    A jump-table entry referencing peer H must carry a timestamp recently
+    signed by H (piggybacked on H's availability-probe responses). Stale or
+    missing stamps let peers reject *inflation attacks*, where a host pads
+    its advertised table with identifiers collected from departed nodes. *)
+
+module Signed = Concilium_crypto.Signed
+module Pki = Concilium_crypto.Pki
+
+type claim = { holder : Id.t; issued_at : float }
+
+val serialize : claim -> string
+
+type stamp = claim Signed.t
+
+val issue : holder:Id.t -> secret:Pki.secret_key -> public:Pki.public_key -> now:float -> stamp
+(** H signs "I, [holder], was alive at [now]". *)
+
+val verify : Pki.t -> stamp -> bool
+(** Signature check against the embedded signer key. *)
+
+val is_fresh : now:float -> max_age:float -> stamp -> bool
+(** Pure recency check (no signature verification). *)
+
+val validate : Pki.t -> now:float -> max_age:float -> expected_holder:Id.t -> stamp -> bool
+(** Full admission check for a table entry: correct holder, valid
+    signature, and fresh. *)

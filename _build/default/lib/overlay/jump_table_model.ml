@@ -1,0 +1,37 @@
+module Prng = Concilium_util.Prng
+module Poisson_binomial = Concilium_stats.Poisson_binomial
+
+let fill_probability ~n ~row =
+  if n < 1 then invalid_arg "Jump_table_model.fill_probability: n must be >= 1";
+  if row < 0 || row >= Routing_table.rows then
+    invalid_arg "Jump_table_model.fill_probability: row out of range";
+  (* 1 - (1 - v^-(row+1))^(n-1), via expm1/log1p to survive v^-(row+1)
+     underflowing the subtraction. *)
+  let prefix_probability = float_of_int Id.base ** float_of_int (-(row + 1)) in
+  -.Float.expm1 (float_of_int (n - 1) *. Float.log1p (-.prefix_probability))
+
+let slot_probabilities ~n =
+  let slots = Routing_table.rows * Routing_table.columns in
+  let out = Array.make slots 0. in
+  for row = 0 to Routing_table.rows - 1 do
+    let p = fill_probability ~n ~row in
+    for col = 0 to Routing_table.columns - 1 do
+      out.((row * Routing_table.columns) + col) <- p
+    done
+  done;
+  out
+
+let model ~n = Poisson_binomial.of_probabilities (slot_probabilities ~n)
+let expected_occupancy ~n = (model ~n).Poisson_binomial.mu_phi
+
+let expected_routing_entries ~n ~leaf_set_size =
+  expected_occupancy ~n +. float_of_int leaf_set_size
+
+let monte_carlo_occupancy ~rng ~n ~trials =
+  let slots = float_of_int (Routing_table.rows * Routing_table.columns) in
+  Array.init trials (fun _ ->
+      let ids = Array.init n (fun i -> (Id.random rng, i)) in
+      Array.sort (fun (a, _) (b, _) -> Id.compare a b) ids;
+      let owner, _ = ids.(Prng.int rng n) in
+      let table = Routing_table.build_secure ~owner ~sorted:ids in
+      float_of_int (Routing_table.occupancy table) /. slots)

@@ -1,0 +1,130 @@
+module Sorted = Concilium_util.Sorted
+module Prng = Concilium_util.Prng
+
+type entry = { peer : Id.t; node : int }
+type t = { owner : Id.t; slots : entry option array }
+
+let rows = Id.digits
+let columns = Id.base
+
+let owner t = t.owner
+
+let slot_index ~row ~col =
+  if row < 0 || row >= rows then invalid_arg "Routing_table: row out of range";
+  if col < 0 || col >= columns then invalid_arg "Routing_table: column out of range";
+  (row * columns) + col
+
+let get t ~row ~col = t.slots.(slot_index ~row ~col)
+let set t ~row ~col entry = t.slots.(slot_index ~row ~col) <- entry
+
+let create_empty ~owner = { owner; slots = Array.make (rows * columns) None }
+let copy t = { owner = t.owner; slots = Array.copy t.slots }
+
+let compare_fst (a, _) (b, _) = Id.compare a b
+
+(* Candidates for slot (row, col): identifiers in the half-open range
+   [prefix(row digits of owner) . col . 00..0, same prefix . col . ff..f].
+   Located with two binary searches over the sorted id array. *)
+let candidate_range ~owner_id ~row ~col sorted =
+  let point = Id.with_digit owner_id row col in
+  let lo_bound =
+    let rec fill id i = if i >= Id.digits then id else fill (Id.with_digit id i 0) (i + 1) in
+    fill point (row + 1)
+  in
+  let hi_bound =
+    let rec fill id i =
+      if i >= Id.digits then id else fill (Id.with_digit id i (Id.base - 1)) (i + 1)
+    in
+    fill point (row + 1)
+  in
+  let lo = Sorted.lower_bound compare_fst sorted (lo_bound, 0) in
+  let hi = Sorted.upper_bound compare_fst sorted (hi_bound, 0) in
+  (point, lo, hi)
+
+let closest_in_range ~point ~owner_id sorted lo hi =
+  (* The range is sorted, so the minimizer of ring distance to [point] is
+     adjacent to point's insertion position (or wraps within the range). *)
+  let best = ref None in
+  let consider index =
+    if index >= lo && index < hi then begin
+      let id, node = sorted.(index) in
+      if not (Id.equal id owner_id) then begin
+        let d = Id.ring_distance id point in
+        match !best with
+        | Some (_, best_d) when Id.compare d best_d >= 0 -> ()
+        | _ -> best := Some ({ peer = id; node }, d)
+      end
+    end
+  in
+  let insertion = Sorted.lower_bound compare_fst sorted (point, 0) in
+  (* Check a small neighborhood around the insertion point; the owner can
+     occupy at most one slot in it, so two on each side suffice. *)
+  for index = insertion - 2 to insertion + 2 do
+    consider index
+  done;
+  (* Edges of the range guard against all-neighborhood-out-of-range cases. *)
+  consider lo;
+  consider (hi - 1);
+  Option.map fst !best
+
+(* Slot (i, j) is filled iff some *other* node carries the required
+   (i+1)-digit prefix — including j = the owner's own digit, so that
+   occupancy follows the paper's Equation 1 with N-1 candidate draws for
+   every one of the l*v slots. *)
+let build_secure ~owner:owner_id ~sorted =
+  let t = create_empty ~owner:owner_id in
+  for row = 0 to rows - 1 do
+    for col = 0 to columns - 1 do
+      let point, lo, hi = candidate_range ~owner_id ~row ~col sorted in
+      if hi > lo then set t ~row ~col (closest_in_range ~point ~owner_id sorted lo hi)
+    done
+  done;
+  t
+
+let build_standard ~owner:owner_id ~sorted ~rng =
+  let t = create_empty ~owner:owner_id in
+  for row = 0 to rows - 1 do
+    for col = 0 to columns - 1 do
+      let _, lo, hi = candidate_range ~owner_id ~row ~col sorted in
+      let width = hi - lo in
+      if width > 0 then begin
+        let offset = Prng.int rng width in
+        let id, node = sorted.(lo + offset) in
+        if not (Id.equal id owner_id) then set t ~row ~col (Some { peer = id; node })
+        else if width > 1 then begin
+          (* Landed on the owner: deterministically take the next candidate
+             so a populated slot is not spuriously left empty. *)
+          let id, node = sorted.(lo + ((offset + 1) mod width)) in
+          set t ~row ~col (Some { peer = id; node })
+        end
+      end
+    done
+  done;
+  t
+
+let occupancy t =
+  Array.fold_left (fun acc slot -> match slot with Some _ -> acc + 1 | None -> acc) 0 t.slots
+
+let density t = float_of_int (occupancy t) /. float_of_int (rows * columns)
+
+let next_hop t ~dest =
+  let shared = Id.shared_prefix_length t.owner dest in
+  if shared >= rows then None else get t ~row:shared ~col:(Id.digit dest shared)
+
+let entries t =
+  let out = ref [] in
+  for row = rows - 1 downto 0 do
+    for col = columns - 1 downto 0 do
+      match get t ~row ~col with
+      | Some entry -> out := (row, col, entry) :: !out
+      | None -> ()
+    done
+  done;
+  !out
+
+let iter f t =
+  for row = 0 to rows - 1 do
+    for col = 0 to columns - 1 do
+      f ~row ~col (get t ~row ~col)
+    done
+  done

@@ -1,0 +1,92 @@
+module Prng = Concilium_util.Prng
+
+type attempt = { via : int; hops : int list; delivered : bool }
+type result = { delivered : bool; attempts : attempt list; copies_sent : int }
+
+(* Walk a route and check every intermediate forwarder; endpoints are
+   exempt (the sender wants delivery, the root is the judge of receipt). *)
+let clean_route ~faulty hops =
+  match hops with
+  | [] | [ _ ] -> true
+  | _ :: rest ->
+      let rec interior = function
+        | [] | [ _ ] -> true
+        | hop :: rest -> (not (faulty hop)) && interior rest
+      in
+      interior rest
+
+let standard_delivery pastry ~from ~dest ~faulty =
+  let hops = Pastry.route pastry ~from ~dest in
+  { via = -1; hops; delivered = clean_route ~faulty hops }
+
+let redundant_route pastry ~from ~dest ~faulty =
+  let direct = standard_delivery pastry ~from ~dest ~faulty in
+  if direct.delivered then { delivered = true; attempts = [ direct ]; copies_sent = 1 }
+  else begin
+    (* Steer one copy through each leaf-set member: the neighbor forwards
+       towards the key with its own routing state, giving path diversity
+       precisely where the failed route was compromised. *)
+    let leaf_set = (Pastry.node pastry from).Pastry.leaf_set in
+    let attempts =
+      List.filter_map
+        (fun neighbor_id ->
+          match Pastry.index_of_id pastry neighbor_id with
+          | None -> None
+          | Some neighbor ->
+              if faulty neighbor then
+                (* A faulty first hop eats the copy outright. *)
+                Some { via = neighbor; hops = [ from; neighbor ]; delivered = false }
+              else begin
+                let onward = Pastry.route pastry ~from:neighbor ~dest in
+                Some
+                  {
+                    via = neighbor;
+                    hops = from :: onward;
+                    delivered = clean_route ~faulty onward;
+                  }
+              end)
+        (Leaf_set.members leaf_set)
+    in
+    let all = direct :: attempts in
+    {
+      delivered = List.exists (fun (a : attempt) -> a.delivered) all;
+      attempts = all;
+      copies_sent = List.length all;
+    }
+  end
+
+let delivery_probability pastry ~rng ~faulty_fraction ~trials ~mode =
+  if faulty_fraction < 0. || faulty_fraction >= 1. then
+    invalid_arg "Secure_routing.delivery_probability: fraction outside [0,1)";
+  let n = Pastry.node_count pastry in
+  let faulty_flags = Array.make n false in
+  let delivered = ref 0 and attempted = ref 0 in
+  for _ = 1 to trials do
+    Array.fill faulty_flags 0 n false;
+    let faulty_count = int_of_float (Float.round (faulty_fraction *. float_of_int n)) in
+    Array.iter
+      (fun v -> faulty_flags.(v) <- true)
+      (Prng.sample_without_replacement rng faulty_count n);
+    let faulty v = faulty_flags.(v) in
+    (* Draw a correct sender and a key owned by a correct root. *)
+    let rec correct_sender () =
+      let v = Prng.int rng n in
+      if faulty_flags.(v) then correct_sender () else v
+    in
+    let rec correct_key () =
+      let dest = Id.random rng in
+      if faulty_flags.(Pastry.numerically_closest pastry dest) then correct_key () else dest
+    in
+    if faulty_count < n then begin
+      let from = correct_sender () in
+      let dest = correct_key () in
+      incr attempted;
+      let ok =
+        match mode with
+        | `Standard -> (standard_delivery pastry ~from ~dest ~faulty).delivered
+        | `Redundant -> (redundant_route pastry ~from ~dest ~faulty).delivered
+      in
+      if ok then incr delivered
+    end
+  done;
+  if !attempted = 0 then 0. else float_of_int !delivered /. float_of_int !attempted

@@ -1,0 +1,44 @@
+(** Castro-style secure message forwarding (paper Section 2).
+
+    Concilium's own protocol messages "must always be forwarded using
+    secure routing": when the standard (single-path) route fails, the
+    sender re-transmits redundantly, sending one copy through each member
+    of its leaf set. The copies take diverse first hops, so a message
+    survives as long as *some* copy crosses only correct forwarders —
+    which holds with high probability while at least ~75% of nodes are
+    honest. This module implements both modes over a {!Pastry} overlay and
+    measures their delivery probability against a faulty population. *)
+
+type attempt = {
+  via : int;  (** the leaf-set member the copy was steered through; -1 = direct *)
+  hops : int list;  (** overlay nodes traversed *)
+  delivered : bool;
+}
+
+type result = {
+  delivered : bool;
+  attempts : attempt list;
+  copies_sent : int;
+}
+
+val standard_delivery :
+  Pastry.t -> from:int -> dest:Id.t -> faulty:(int -> bool) -> attempt
+(** Single-path Pastry routing; fails at the first faulty intermediate
+    forwarder (the sender is trusted to emit, the key's root to receive). *)
+
+val redundant_route :
+  Pastry.t -> from:int -> dest:Id.t -> faulty:(int -> bool) -> result
+(** One copy through each leaf-set member (plus the direct route). The
+    message is delivered iff some copy reaches the key's root through
+    correct forwarders only. *)
+
+val delivery_probability :
+  Pastry.t ->
+  rng:Concilium_util.Prng.t ->
+  faulty_fraction:float ->
+  trials:int ->
+  mode:[ `Standard | `Redundant ] ->
+  float
+(** Monte-Carlo delivery rate with a random [faulty_fraction] of the
+    overlay marked faulty per trial. Senders and key roots are always
+    drawn from the correct population, isolating *forwarding* robustness. *)

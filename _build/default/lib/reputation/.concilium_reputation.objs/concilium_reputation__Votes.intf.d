@@ -1,0 +1,1 @@
+lib/reputation/votes.mli:

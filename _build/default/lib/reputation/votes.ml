@@ -1,0 +1,65 @@
+type vote = { voter : int; subject : int; confident : bool; time : float }
+
+type t = {
+  by_pair : (int * int, vote) Hashtbl.t; (* (voter, subject) -> newest vote *)
+  by_voter : (int, (int, vote) Hashtbl.t) Hashtbl.t;
+  by_subject : (int, (int, vote) Hashtbl.t) Hashtbl.t;
+}
+
+let create () =
+  { by_pair = Hashtbl.create 256; by_voter = Hashtbl.create 64; by_subject = Hashtbl.create 64 }
+
+let secondary table key =
+  match Hashtbl.find_opt table key with
+  | Some inner -> inner
+  | None ->
+      let inner = Hashtbl.create 16 in
+      Hashtbl.replace table key inner;
+      inner
+
+let cast t vote =
+  Hashtbl.replace t.by_pair (vote.voter, vote.subject) vote;
+  Hashtbl.replace (secondary t.by_voter vote.voter) vote.subject vote;
+  Hashtbl.replace (secondary t.by_subject vote.subject) vote.voter vote
+
+let vote_count t = Hashtbl.length t.by_pair
+
+let correlation t ~a ~b =
+  if a = b then 1.
+  else begin
+    match (Hashtbl.find_opt t.by_voter a, Hashtbl.find_opt t.by_voter b) with
+    | None, _ | _, None -> 0.
+    | Some votes_a, Some votes_b ->
+        let shared = ref 0 and agreements = ref 0 in
+        Hashtbl.iter
+          (fun subject vote_a ->
+            match Hashtbl.find_opt votes_b subject with
+            | None -> ()
+            | Some vote_b ->
+                incr shared;
+                if vote_a.confident = vote_b.confident then incr agreements)
+          votes_a;
+        if !shared = 0 then 0.
+        else float_of_int ((2 * !agreements) - !shared) /. float_of_int !shared
+  end
+
+let score t ~observer ~subject =
+  match Hashtbl.find_opt t.by_subject subject with
+  | None -> 0.
+  | Some votes ->
+      let weighted = ref 0. and weight_total = ref 0. in
+      Hashtbl.iter
+        (fun voter vote ->
+          let weight = correlation t ~a:observer ~b:voter in
+          if weight <> 0. then begin
+            let value = if vote.confident then 1. else -1. in
+            weighted := !weighted +. (weight *. value);
+            weight_total := !weight_total +. abs_float weight
+          end)
+        votes;
+      if !weight_total = 0. then 0. else !weighted /. !weight_total
+
+let poor_peers t ~observer ~threshold =
+  let subjects = Hashtbl.fold (fun subject _ acc -> subject :: acc) t.by_subject [] in
+  List.sort compare
+    (List.filter (fun subject -> score t ~observer ~subject < threshold) subjects)

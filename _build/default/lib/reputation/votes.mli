@@ -1,0 +1,36 @@
+(** Credence-style decentralized reputation (paper Section 3.6).
+
+    Concilium cannot arbitrate when B simply refuses to issue forwarding
+    commitments: no tomographic evidence distinguishes "A never sent the
+    message" from "B ignored it". The paper defers such cases to an
+    object-reputation system in the style of Credence (Walsh & Sirer): hosts
+    cast votes of (no) confidence, and each host weighs a voter by the
+    correlation between that voter's history and its own, so colluding liars
+    discount themselves. *)
+
+type vote = {
+  voter : int;
+  subject : int;
+  confident : bool;  (** false = vote of no confidence *)
+  time : float;
+}
+
+type t
+
+val create : unit -> t
+val cast : t -> vote -> unit
+(** A voter's newest vote on a subject replaces its older one. *)
+
+val vote_count : t -> int
+
+val correlation : t -> a:int -> b:int -> float
+(** Agreement between two voters over the subjects both voted on, in
+    [-1, 1]; 0 when they share no subjects. *)
+
+val score : t -> observer:int -> subject:int -> float
+(** The subject's reputation in the observer's eyes: votes weighted by each
+    voter's correlation with the observer (the observer's own vote counts
+    with weight 1). Range [-1, 1]; 0 when nothing is known. *)
+
+val poor_peers : t -> observer:int -> threshold:float -> int list
+(** Subjects whose score falls below the threshold. *)

@@ -1,0 +1,1 @@
+lib/stats/beta.ml: Concilium_util Special

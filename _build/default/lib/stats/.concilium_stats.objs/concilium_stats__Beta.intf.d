@@ -1,0 +1,1 @@
+lib/stats/beta.mli: Concilium_util

@@ -1,0 +1,1 @@
+lib/stats/poisson_binomial.mli:

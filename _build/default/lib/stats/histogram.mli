@@ -1,0 +1,21 @@
+(** Fixed-bin histogram over a closed interval; renders the empirical blame
+    pdfs of paper Figure 5. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+val add : t -> float -> unit
+(** Values outside [lo, hi] are clamped into the boundary bins. *)
+
+val total : t -> int
+val counts : t -> int array
+
+val bin_centers : t -> float array
+
+val pdf : t -> float array
+(** Densities normalised so the histogram integrates to 1 (each count divided
+    by total * bin_width). All-zero if no samples were added. *)
+
+val fraction_at_least : t -> float -> float
+(** [fraction_at_least t x] is the fraction of samples whose *bin center* is
+    >= x -- used for threshold sweeps over recorded pdfs. *)

@@ -1,0 +1,1 @@
+lib/tomography/feedback_verify.ml: Array Concilium_stats Float List Logical_tree Minc

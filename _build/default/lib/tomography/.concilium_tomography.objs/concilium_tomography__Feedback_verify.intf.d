@@ -1,0 +1,1 @@
+lib/tomography/feedback_verify.mli: Minc

@@ -1,0 +1,1 @@
+lib/tomography/logical_tree.ml: Array List Tree

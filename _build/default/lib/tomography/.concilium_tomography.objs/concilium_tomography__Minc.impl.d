@@ -1,0 +1,1 @@
+lib/tomography/minc.ml: Array List Logical_tree Probing

@@ -1,0 +1,1 @@
+lib/tomography/minc.mli: Logical_tree Probing

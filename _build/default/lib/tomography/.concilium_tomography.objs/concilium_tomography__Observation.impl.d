@@ -1,0 +1,1 @@
+lib/tomography/observation.ml: Hashtbl List

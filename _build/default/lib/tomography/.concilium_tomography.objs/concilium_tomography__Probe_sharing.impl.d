@@ -1,0 +1,1 @@
+lib/tomography/probe_sharing.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/tomography/probing.ml: Array Concilium_util Hashtbl List Logical_tree Tree

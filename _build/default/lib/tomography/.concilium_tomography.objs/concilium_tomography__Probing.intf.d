@@ -1,0 +1,1 @@
+lib/tomography/probing.mli: Concilium_util Logical_tree Tree

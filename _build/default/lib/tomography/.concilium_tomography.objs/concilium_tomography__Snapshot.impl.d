@@ -1,0 +1,1 @@
+lib/tomography/snapshot.ml: Array Concilium_crypto Concilium_overlay Hashtbl List Printf String

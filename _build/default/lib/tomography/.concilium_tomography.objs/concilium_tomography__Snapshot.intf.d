@@ -1,0 +1,1 @@
+lib/tomography/snapshot.mli: Concilium_crypto Concilium_overlay

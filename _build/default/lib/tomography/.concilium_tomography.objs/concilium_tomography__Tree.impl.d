@@ -1,0 +1,1 @@
+lib/tomography/tree.ml: Array Concilium_topology Hashtbl List

@@ -1,0 +1,1 @@
+lib/tomography/tree.mli: Concilium_topology

@@ -1,0 +1,35 @@
+module Hypothesis = Concilium_stats.Hypothesis
+module Normal = Concilium_stats.Normal
+
+type suspicion = {
+  leaf_index : int;
+  observed_rate : float;
+  expected_rate : float;
+  z : float;
+}
+
+let suspect_leaves (estimate : Minc.estimate) ~expected_chain_success ~significance =
+  if significance <= 0. || significance >= 1. then
+    invalid_arg "Feedback_verify.suspect_leaves: significance outside (0,1)";
+  let logical = estimate.Minc.logical in
+  let critical = Normal.standard_quantile (1. -. significance) in
+  let leaves = Logical_tree.leaves logical in
+  let out = ref [] in
+  Array.iteri
+    (fun leaf_index node ->
+      let parent = Logical_tree.parent logical node in
+      let reach_parent = estimate.Minc.path_success.(parent) in
+      let expected_rate =
+        min (1. -. 1e-9) (max 1e-9 (reach_parent *. expected_chain_success node))
+      in
+      let observed_rate = estimate.Minc.gamma.(node) in
+      let successes =
+        int_of_float (Float.round (observed_rate *. float_of_int estimate.Minc.rounds))
+      in
+      let z =
+        Hypothesis.one_proportion_z ~successes ~trials:estimate.Minc.rounds ~p0:expected_rate
+      in
+      if z < -.critical then
+        out := { leaf_index; observed_rate; expected_rate; z } :: !out)
+    leaves;
+  List.sort (fun a b -> compare a.z b.z) !out

@@ -1,0 +1,27 @@
+(** Statistical verification of leaf feedback (paper Section 3.3, after
+    Arya et al.).
+
+    Spurious acknowledgments are defeated by probe nonces (see
+    {!Probing}). Suppressed acknowledgments are caught statistically: a
+    leaf that drops acks for probes it received shows a marginal ack rate
+    significantly below what the tree-wide MLE predicts for its position.
+    The test cannot distinguish a suppressing leaf from a genuinely
+    terrible last-mile chain — neither can any remote observer — but both
+    warrant the same response: distrust tomography sourced from that leaf. *)
+
+type suspicion = {
+  leaf_index : int;
+  observed_rate : float;  (** marginal ack rate of the leaf *)
+  expected_rate : float;  (** predicted from the MLE and the chain's nominal loss *)
+  z : float;  (** one-proportion z statistic (negative = below expectation) *)
+}
+
+val suspect_leaves :
+  Minc.estimate ->
+  expected_chain_success:(int -> float) ->
+  significance:float ->
+  suspicion list
+(** [expected_chain_success] gives, for a logical leaf node, the success
+    probability its last chain would have if healthy (e.g. (1-good_loss)^n).
+    Returns leaves whose ack rate falls below prediction at the given
+    one-sided significance level, most suspicious first. *)

@@ -1,0 +1,87 @@
+type estimate = {
+  logical : Logical_tree.t;
+  rounds : int;
+  gamma : float array;
+  path_success : float array;
+  link_success : float array;
+}
+
+(* Root of g(a) = (1 - gamma_k/a) - prod_j (1 - gamma_j/a) in (lo, 1].
+   g(lo) <= 0 at lo = gamma_k and g is increasing towards 1 under the
+   positive correlation the shared link induces; sampling noise can leave
+   g(1) < 0, in which case the MLE clips to 1. *)
+let solve_node ~gamma_k ~child_gammas =
+  if gamma_k <= 0. then 0.
+  else begin
+    let g a =
+      let product =
+        Array.fold_left (fun acc gamma_j -> acc *. (1. -. (gamma_j /. a))) 1. child_gammas
+      in
+      1. -. (gamma_k /. a) -. product
+    in
+    if g 1. < 0. then 1.
+    else begin
+      let lo = ref gamma_k and hi = ref 1. in
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if g mid < 0. then lo := mid else hi := mid
+      done;
+      0.5 *. (!lo +. !hi)
+    end
+  end
+
+let infer logical ~acked =
+  let rounds = Array.length acked in
+  if rounds = 0 then invalid_arg "Minc.infer: no rounds";
+  let leaf_count = Logical_tree.leaf_count logical in
+  Array.iter
+    (fun vector ->
+      if Array.length vector <> leaf_count then
+        invalid_arg "Minc.infer: ack vector width mismatch")
+    acked;
+  let count = Logical_tree.node_count logical in
+  (* gamma_k: fraction of rounds in which some leaf below k acked. *)
+  let hits = Array.make count 0 in
+  Array.iter
+    (fun vector ->
+      for node = 0 to count - 1 do
+        if
+          Array.exists
+            (fun leaf_index -> vector.(leaf_index))
+            (Logical_tree.descendant_leaves logical node)
+        then hits.(node) <- hits.(node) + 1
+      done)
+    acked;
+  let gamma = Array.map (fun h -> float_of_int h /. float_of_int rounds) hits in
+  let path_success = Array.make count 1. in
+  for node = 0 to count - 1 do
+    let children = Logical_tree.children logical node in
+    if node = 0 then path_success.(0) <- 1.
+    else if Array.length children = 0 then path_success.(node) <- gamma.(node)
+    else begin
+      let child_gammas = Array.map (fun child -> gamma.(child)) children in
+      path_success.(node) <- solve_node ~gamma_k:gamma.(node) ~child_gammas
+    end
+  done;
+  let link_success =
+    Array.init count (fun node ->
+        if node = 0 then 1.
+        else begin
+          let parent_success = path_success.(Logical_tree.parent logical node) in
+          if parent_success <= 0. then 0.
+          else min 1. (max 0. (path_success.(node) /. parent_success))
+        end)
+  in
+  { logical; rounds; gamma; path_success; link_success }
+
+let link_loss estimate node = 1. -. estimate.link_success.(node)
+
+let suspect_physical_links estimate ~loss_threshold =
+  let out = ref [] in
+  for node = 1 to Logical_tree.node_count estimate.logical - 1 do
+    if link_loss estimate node > loss_threshold then
+      Array.iter (fun link -> out := link :: !out) (Logical_tree.chain estimate.logical node)
+  done;
+  List.sort_uniq compare !out
+
+let infer_from_rounds logical rounds = infer logical ~acked:(Probing.acked_matrix rounds)

@@ -1,0 +1,58 @@
+(** Striped-unicast probe simulation (paper Section 3.2).
+
+    A probe round sends one packet per routing peer, back-to-back. Because
+    the stripe traverses shared interior routers within a tight window, the
+    packets share fate on shared links — the round behaves like a single
+    multicast packet, which is exactly how the simulation draws it: one
+    Bernoulli trial per physical link per round.
+
+    Leaves may misbehave (Section 3.3): suppress acknowledgments for probes
+    they received, or fabricate acknowledgments for probes they did not.
+    Fabrication requires echoing the probe's nonce, so it is detected with
+    probability 1 - 2^-16 per forged ack. *)
+
+type leaf_behavior =
+  | Honest
+  | Suppress_acks of float  (** drop the ack with this probability *)
+  | Spurious_acks of float  (** when the probe was lost, forge an ack with this probability *)
+
+type round = {
+  received : bool array;  (** ground truth per leaf index *)
+  acked : bool array;  (** what the prober observed *)
+  forged_detected : int list;  (** leaf indices caught by the nonce check this round *)
+}
+
+val probe_round :
+  rng:Concilium_util.Prng.t ->
+  loss_of_link:(int -> float) ->
+  tree:Tree.t ->
+  ?behavior:(int -> leaf_behavior) ->
+  unit ->
+  round
+(** [behavior] maps a leaf index (position in [Tree.leaves]) to its conduct;
+    defaults to all-honest. *)
+
+val probe_rounds :
+  rng:Concilium_util.Prng.t ->
+  loss_of_link:(int -> float) ->
+  tree:Tree.t ->
+  ?behavior:(int -> leaf_behavior) ->
+  count:int ->
+  unit ->
+  round array
+
+val acked_matrix : round array -> bool array array
+(** Ack vectors only, the input shape MINC inference consumes. *)
+
+type link_verdict = Probed_up | Probed_down | Indeterminate
+
+val classify_round : Logical_tree.t -> bool array -> link_verdict array
+(** What a single lightweight round reveals about each logical link (indexed
+    by logical node; entry 0 is meaningless): [Probed_up] when some leaf
+    below acked (the chain demonstrably passed the packet), [Probed_down]
+    when the parent demonstrably received it but no leaf below acked, and
+    [Indeterminate] otherwise. *)
+
+val schedule_jitter : rng:Concilium_util.Prng.t -> max_probe_time:float -> float
+(** Inter-arrival draw for lightweight probe scheduling: uniform over
+    [0, max_probe_time] (Section 3.2). *)

@@ -1,0 +1,42 @@
+(** Physical probe trees (the paper's T_H).
+
+    Host H's tree is the union of the IP routes from H to each of its
+    routing peers. Routes produced by a single shortest-path computation
+    from H form a tree by construction; leaves are the routing peers. *)
+
+type t
+
+val of_paths : root:int -> paths:Concilium_topology.Routes.path array -> t
+(** Each path must start at [root]. Zero-hop paths are ignored.
+    @raise Invalid_argument if a path starts elsewhere or the union is not a
+    tree (cannot happen for single-source shortest paths). *)
+
+val root : t -> int
+(** Router id of the root. *)
+
+val node_count : t -> int
+(** Number of tree nodes (routers appearing in the tree). *)
+
+val router_of : t -> int -> int
+(** Tree node -> router id. Node 0 is the root. *)
+
+val parent : t -> int -> int
+(** Tree parent, -1 for the root. *)
+
+val parent_link : t -> int -> int
+(** Physical link id connecting a node to its parent, -1 for the root. *)
+
+val children : t -> int -> int array
+
+val leaves : t -> int array
+(** Tree nodes that terminate a probe path (the routing peers), in the
+    order their paths were supplied (duplicates removed). *)
+
+val leaf_of_router : t -> int -> int option
+(** Tree leaf node for a peer's router id. *)
+
+val physical_links : t -> int array
+(** Distinct physical link ids appearing in the tree, ascending. *)
+
+val path_links_to : t -> int -> int array
+(** Physical links from the root down to the given tree node, in order. *)

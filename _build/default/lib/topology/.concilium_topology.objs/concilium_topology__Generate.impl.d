@@ -1,0 +1,1 @@
+lib/topology/generate.ml: Array Concilium_util Graph List

@@ -1,0 +1,1 @@
+lib/topology/routes.ml: Array Bytes Graph Queue

@@ -1,0 +1,1 @@
+lib/topology/routes.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/serialize.ml: Fun Generate Marshal Printf String

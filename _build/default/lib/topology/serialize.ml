@@ -1,0 +1,27 @@
+let magic = "CONCILIUM-TOPO"
+let version = 1
+
+let save_world ~path world =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_binary_int oc version;
+      Marshal.to_channel oc world [])
+
+let load_world ~path =
+  match open_in_bin path with
+  | exception Sys_error message -> Error message
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let tag = really_input_string ic (String.length magic) in
+          if not (String.equal tag magic) then Error "not a Concilium topology file"
+          else begin
+            let file_version = input_binary_int ic in
+            if file_version <> version then
+              Error (Printf.sprintf "topology file version %d, expected %d" file_version version)
+            else Ok (Marshal.from_channel ic : Generate.world)
+          end)

@@ -1,0 +1,14 @@
+(** Saving and loading generated worlds.
+
+    Paper-scale topologies take noticeable time to generate and route over;
+    persisting them lets experiment runs share one world. The format is
+    OCaml's Marshal wrapped in a versioned, magic-tagged header, so
+    mismatched binaries fail loudly instead of reading garbage. *)
+
+val save_world : path:string -> Generate.world -> unit
+
+val load_world : path:string -> (Generate.world, string) result
+(** [Error] on missing file, wrong magic, or version mismatch. *)
+
+val magic : string
+val version : int

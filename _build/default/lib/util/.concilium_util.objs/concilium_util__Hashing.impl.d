@@ -1,0 +1,1 @@
+lib/util/hashing.ml: Char Int64 String

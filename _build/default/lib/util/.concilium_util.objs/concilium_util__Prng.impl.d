@@ -1,0 +1,1 @@
+lib/util/prng.ml: Array Char Float Hashtbl Int64 String

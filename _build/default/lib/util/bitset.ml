@@ -1,0 +1,86 @@
+type t = { words : Bytes.t; capacity : int }
+
+(* Bytes rather than int arrays keeps the structure compact and avoids
+   boxing; popcount is done bytewise through a 256-entry table. *)
+
+let popcount_table =
+  let table = Bytes.create 256 in
+  for i = 0 to 255 do
+    let rec bits n = if n = 0 then 0 else (n land 1) + bits (n lsr 1) in
+    Bytes.set table i (Char.chr (bits i))
+  done;
+  table
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Bytes.make ((capacity + 7) / 8) '\000'; capacity }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let byte = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (byte land lnot (1 lsl (i land 7)) land 0xFF))
+
+let cardinal t =
+  let total = ref 0 in
+  for b = 0 to Bytes.length t.words - 1 do
+    total := !total + Char.code (Bytes.get popcount_table (Char.code (Bytes.get t.words b)))
+  done;
+  !total
+
+let is_empty t =
+  let rec scan b = b >= Bytes.length t.words || (Bytes.get t.words b = '\000' && scan (b + 1)) in
+  scan 0
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+let copy t = { words = Bytes.copy t.words; capacity = t.capacity }
+
+let union_into ~dst src =
+  if dst.capacity <> src.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
+  for b = 0 to Bytes.length dst.words - 1 do
+    let merged = Char.code (Bytes.get dst.words b) lor Char.code (Bytes.get src.words b) in
+    Bytes.set dst.words b (Char.chr merged)
+  done
+
+let inter_cardinal a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.inter_cardinal: capacity mismatch";
+  let total = ref 0 in
+  for i = 0 to Bytes.length a.words - 1 do
+    let shared = Char.code (Bytes.get a.words i) land Char.code (Bytes.get b.words i) in
+    total := !total + Char.code (Bytes.get popcount_table shared)
+  done;
+  !total
+
+let iter f t =
+  for b = 0 to Bytes.length t.words - 1 do
+    let byte = Char.code (Bytes.get t.words b) in
+    if byte <> 0 then
+      for bit = 0 to 7 do
+        if byte land (1 lsl bit) <> 0 then f ((b lsl 3) + bit)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list capacity members =
+  let t = create capacity in
+  List.iter (add t) members;
+  t

@@ -1,0 +1,31 @@
+(** Fixed-capacity bitset over integers [0, capacity).
+
+    Used for link-coverage sets in the tomography experiments, where unions
+    and cardinalities over hundreds of thousands of link ids must be cheap. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set with capacity [n] (members range over
+    [0, n-1]). *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+val is_empty : t -> bool
+val clear : t -> unit
+val copy : t -> t
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] adds every member of [src] to [dst]. The two sets
+    must have equal capacity. *)
+
+val inter_cardinal : t -> t -> int
+(** Number of members shared by two equal-capacity sets. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int -> int list -> t

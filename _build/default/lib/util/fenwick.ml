@@ -1,0 +1,57 @@
+type t = { tree : float array; weights : float array }
+
+let create n =
+  if n < 0 then invalid_arg "Fenwick.create: negative size";
+  { tree = Array.make (n + 1) 0.; weights = Array.make n 0. }
+
+let size t = Array.length t.weights
+
+let add_internal t i delta =
+  let i = ref (i + 1) in
+  while !i < Array.length t.tree do
+    t.tree.(!i) <- t.tree.(!i) +. delta;
+    i := !i + (!i land - !i)
+  done
+
+let set t i w =
+  if w < 0. then invalid_arg "Fenwick.set: negative weight";
+  if i < 0 || i >= size t then invalid_arg "Fenwick.set: index out of range";
+  let delta = w -. t.weights.(i) in
+  t.weights.(i) <- w;
+  add_internal t i delta
+
+let get t i =
+  if i < 0 || i >= size t then invalid_arg "Fenwick.get: index out of range";
+  t.weights.(i)
+
+let prefix_sum t i =
+  let acc = ref 0. in
+  let i = ref (min (i + 1) (Array.length t.tree - 1)) in
+  while !i > 0 do
+    acc := !acc +. t.tree.(!i);
+    i := !i - (!i land - !i)
+  done;
+  !acc
+
+let total t = prefix_sum t (size t - 1)
+
+let find_by_weight t x =
+  if x < 0. then invalid_arg "Fenwick.find_by_weight: negative target";
+  (* Descend the implicit tree: classic O(log n) cumulative-weight search. *)
+  let n = Array.length t.tree - 1 in
+  let log2 =
+    let rec loop k acc = if k <= 1 then acc else loop (k lsr 1) (acc + 1) in
+    loop n 0
+  in
+  let pos = ref 0 and remaining = ref x in
+  let step = ref (1 lsl log2) in
+  while !step > 0 do
+    let next = !pos + !step in
+    if next <= n && t.tree.(next) <= !remaining then begin
+      remaining := !remaining -. t.tree.(next);
+      pos := next
+    end;
+    step := !step lsr 1
+  done;
+  if !pos >= size t then invalid_arg "Fenwick.find_by_weight: target exceeds total";
+  !pos

@@ -1,0 +1,26 @@
+(** Fenwick (binary indexed) tree over floats, supporting point updates,
+    prefix sums, and weighted sampling by cumulative weight. The failure
+    injector uses it to pick links proportionally to depth-bias weights. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a tree over indices [0, n-1], all weights zero. *)
+
+val size : t -> int
+
+val set : t -> int -> float -> unit
+(** [set t i w] assigns weight [w] (not adds) to index [i]. Weights must be
+    non-negative. *)
+
+val get : t -> int -> float
+val total : t -> float
+
+val prefix_sum : t -> int -> float
+(** [prefix_sum t i] is the sum of weights at indices [0..i]. *)
+
+val find_by_weight : t -> float -> int
+(** [find_by_weight t x] returns the smallest index [i] such that
+    [prefix_sum t i > x]. Precondition: [0 <= x < total t]. Sampling a
+    uniform [x] yields an index with probability proportional to its
+    weight. *)

@@ -1,0 +1,81 @@
+module type Ordered = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : Ordered) = struct
+  type t = { mutable data : Elt.t array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  let grow t x =
+    let capacity = Array.length t.data in
+    if t.size = capacity then begin
+      let next = max 8 (2 * capacity) in
+      let data = Array.make next x in
+      Array.blit t.data 0 data 0 t.size;
+      t.data <- data
+    end
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if Elt.compare t.data.(i) t.data.(parent) < 0 then begin
+        let tmp = t.data.(i) in
+        t.data.(i) <- t.data.(parent);
+        t.data.(parent) <- tmp;
+        sift_up t parent
+      end
+    end
+
+  let add t x =
+    grow t x;
+    t.data.(t.size) <- x;
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && Elt.compare t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+    if r < t.size && Elt.compare t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+    if !smallest <> i then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(!smallest);
+      t.data.(!smallest) <- tmp;
+      sift_down t !smallest
+    end
+
+  let peek_min t = if t.size = 0 then None else Some t.data.(0)
+
+  let pop_min t =
+    if t.size = 0 then None
+    else begin
+      let min = t.data.(0) in
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.data.(0) <- t.data.(t.size);
+        sift_down t 0
+      end;
+      Some min
+    end
+
+  let pop_min_exn t =
+    match pop_min t with
+    | Some x -> x
+    | None -> invalid_arg "Heap.pop_min_exn: empty heap"
+
+  let clear t =
+    t.data <- [||];
+    t.size <- 0
+
+  let to_sorted_list t =
+    let copy = { data = Array.sub t.data 0 t.size; size = t.size } in
+    let rec drain acc =
+      match pop_min copy with None -> List.rev acc | Some x -> drain (x :: acc)
+    in
+    drain []
+end

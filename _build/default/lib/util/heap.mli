@@ -1,0 +1,31 @@
+(** Imperative binary min-heap, used as the event queue of the discrete-event
+    simulator and as a generic priority queue elsewhere. *)
+
+module type Ordered = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : Ordered) : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val is_empty : t -> bool
+  val add : t -> Elt.t -> unit
+
+  val peek_min : t -> Elt.t option
+  (** Smallest element without removing it. *)
+
+  val pop_min : t -> Elt.t option
+  (** Remove and return the smallest element. *)
+
+  val pop_min_exn : t -> Elt.t
+  (** @raise Invalid_argument on an empty heap. *)
+
+  val clear : t -> unit
+
+  val to_sorted_list : t -> Elt.t list
+  (** Non-destructive ascending enumeration (costs a heap copy). *)
+end

@@ -1,0 +1,109 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+let ( ^% ) = Int64.logxor
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* SplitMix64: used only to expand seeds into full xoshiro state. *)
+let splitmix_next state =
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = (z ^% Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^% Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  z ^% Int64.shift_right_logical z 31
+
+let of_seed seed =
+  let state = ref seed in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let of_string_seed s =
+  let h = ref fnv_offset in
+  String.iter (fun c -> h := (!h ^% Int64.of_int (Char.code c)) *% fnv_prime) s;
+  of_seed !h
+
+let int64 t =
+  let result = rotl (t.s0 +% t.s3) 23 +% t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- t.s2 ^% t.s0;
+  t.s3 <- t.s3 ^% t.s1;
+  t.s1 <- t.s1 ^% t.s2;
+  t.s0 <- t.s0 ^% t.s3;
+  t.s2 <- t.s2 ^% tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = int64 t in
+  of_seed seed
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling over the top bits to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec loop () =
+    let raw = Int64.to_int (Int64.logand (int64 t) mask) in
+    let v = raw mod n in
+    if raw - v > max_int - n + 1 then loop () else v
+  in
+  loop ()
+
+let uniform t =
+  (* 53 random bits into [0,1). *)
+  let bits = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float t x = uniform t *. x
+let bool t = Int64.logand (int64 t) 1L = 1L
+let bernoulli t p = uniform t < p
+
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Prng.exponential: rate must be positive";
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Prng.sample_without_replacement: k > n";
+  if k < 0 then invalid_arg "Prng.sample_without_replacement: negative k";
+  (* Partial Fisher-Yates over a lazily materialised identity permutation:
+     only touched indices are stored, so cost is O(k) expected. *)
+  let swapped = Hashtbl.create (2 * k) in
+  let get i = match Hashtbl.find_opt swapped i with Some v -> v | None -> i in
+  Array.init k (fun i ->
+      let j = i + int t (n - i) in
+      let vi = get i and vj = get j in
+      Hashtbl.replace swapped j vi;
+      Hashtbl.replace swapped i vj;
+      vj)

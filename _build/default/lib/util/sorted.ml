@@ -1,0 +1,17 @@
+let search predicate a =
+  (* Invariant: predicate holds for all indices >= hi, fails below lo. *)
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if predicate a.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let lower_bound compare a x = search (fun y -> compare y x >= 0) a
+let upper_bound compare a x = search (fun y -> compare y x > 0) a
+
+let mem compare a x =
+  let i = lower_bound compare a x in
+  i < Array.length a && compare a.(i) x = 0
+
+let equal_range compare a x = (lower_bound compare a x, upper_bound compare a x)

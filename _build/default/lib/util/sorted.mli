@@ -1,0 +1,14 @@
+(** Binary searches over sorted arrays. *)
+
+val lower_bound : ('a -> 'a -> int) -> 'a array -> 'a -> int
+(** [lower_bound compare a x] is the first index whose element is [>= x]
+    under [compare], or [Array.length a] if all elements are smaller. The
+    array must be sorted ascending under [compare]. *)
+
+val upper_bound : ('a -> 'a -> int) -> 'a array -> 'a -> int
+(** First index whose element is strictly [> x]. *)
+
+val mem : ('a -> 'a -> int) -> 'a array -> 'a -> bool
+
+val equal_range : ('a -> 'a -> int) -> 'a array -> 'a -> int * int
+(** [(lo, hi)] such that elements equal to [x] occupy indices [lo..hi-1]. *)

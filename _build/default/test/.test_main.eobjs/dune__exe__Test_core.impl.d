@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Concilium_core Concilium_crypto Concilium_overlay Concilium_tomography Concilium_util Hashtbl Lazy List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Concilium_crypto Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Concilium_netsim Concilium_topology Concilium_util Fun List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Concilium_crypto Concilium_overlay Concilium_stats Concilium_util Fun Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Concilium_core Concilium_crypto Concilium_netsim Concilium_overlay Concilium_topology Concilium_util Fun Lazy List Option Printf String

@@ -1,0 +1,1 @@
+test/test_reputation.ml: Alcotest Concilium_reputation List Printf

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Concilium_stats Concilium_util Float List QCheck QCheck_alcotest

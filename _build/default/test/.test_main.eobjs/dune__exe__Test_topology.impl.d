@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Concilium_topology Concilium_util Filename Fun Int64 Option Printf QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Concilium_util Fun Hashtbl Int Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,806 @@
+module Blame = Concilium_core.Blame
+module Verdict_window = Concilium_core.Verdict_window
+module Accusation_model = Concilium_core.Accusation_model
+module Commitment = Concilium_core.Commitment
+module Accusation = Concilium_core.Accusation
+module Dht = Concilium_core.Dht
+module Stewardship = Concilium_core.Stewardship
+module Bandwidth = Concilium_core.Bandwidth
+module Validation = Concilium_core.Validation
+module Sanction = Concilium_core.Sanction
+module World = Concilium_core.World
+module Observation = Concilium_tomography.Observation
+module Snapshot = Concilium_tomography.Snapshot
+module Id = Concilium_overlay.Id
+module Leaf_set = Concilium_overlay.Leaf_set
+module Pastry = Concilium_overlay.Pastry
+module Freshness = Concilium_overlay.Freshness
+module Pki = Concilium_crypto.Pki
+module Signed = Concilium_crypto.Signed
+module Prng = Concilium_util.Prng
+
+let check = Alcotest.check
+let checkf tolerance = Alcotest.check (Alcotest.float tolerance)
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- Blame ---------- *)
+
+let test_blame_paper_worked_example () =
+  (* Section 3.4: Q and R probe a link down, S probes it up, a = 0.8:
+     confidence the link was bad = (0.8 + 0.8 + 0.2)/3 = 0.6. *)
+  checkf 1e-9 "worked example" 0.6
+    (Blame.link_bad_confidence ~accuracy:0.8 ~up_votes:1 ~down_votes:2)
+
+let test_blame_no_votes () =
+  checkf 1e-9 "no votes -> no network evidence" 0.
+    (Blame.link_bad_confidence ~accuracy:0.9 ~up_votes:0 ~down_votes:0)
+
+let blame_config = Blame.paper_config
+
+let store_with observations =
+  let store = Observation.create () in
+  List.iter
+    (fun (time, prober, link, up) ->
+      Observation.record store { Observation.time; prober; link; up })
+    observations;
+  store
+
+let test_blame_excludes_judged_node () =
+  (* Only the suspect (prober 7) claims the link was down; its vote must be
+     ignored, leaving an all-up view and full blame. *)
+  let store = store_with [ (100., 7, 1, false); (100., 3, 1, true); (101., 4, 1, true) ] in
+  let blame =
+    Blame.blame blame_config ~observations:store ~links:[| 1 |] ~drop_time:100.
+      ~exclude_prober:7 ()
+  in
+  checkf 1e-9 "self-exculpation ignored" 0.9 blame
+
+let test_blame_window_filtering () =
+  let store = store_with [ (10., 1, 2, false); (500., 2, 2, false) ] in
+  (* At drop time 500 only the second observation is in [440, 560]. *)
+  let blame =
+    Blame.blame blame_config ~observations:store ~links:[| 2 |] ~drop_time:500.
+      ~exclude_prober:(-1) ()
+  in
+  checkf 1e-9 "one down vote" (1. -. 0.9) blame
+
+let test_blame_fuzzy_or_takes_worst_link () =
+  let store =
+    store_with [ (100., 1, 0, true); (100., 2, 1, false); (100., 3, 2, true) ]
+  in
+  let confidence =
+    Blame.path_bad_confidence blame_config ~observations:store ~links:[| 0; 1; 2 |]
+      ~drop_time:100. ~exclude_prober:(-1) ()
+  in
+  checkf 1e-9 "max over links" 0.9 confidence
+
+let test_blame_visibility_filter () =
+  let store = store_with [ (100., 5, 1, false) ] in
+  let blame =
+    Blame.blame blame_config ~observations:store ~links:[| 1 |] ~drop_time:100.
+      ~exclude_prober:(-1) ~visible:(fun prober -> prober <> 5) ()
+  in
+  checkf 1e-9 "invisible prober ignored" 1. blame
+
+let test_verdict_threshold () =
+  check Alcotest.bool "guilty" true
+    (Blame.verdict_of_blame blame_config 0.41 = Blame.Guilty);
+  check Alcotest.bool "innocent" true
+    (Blame.verdict_of_blame blame_config 0.39 = Blame.Innocent)
+
+let prop_blame_in_unit_interval =
+  QCheck.Test.make ~name:"blame always lies in [0,1]" ~count:200
+    QCheck.(small_list (triple (int_bound 5) (int_bound 3) bool))
+    (fun raw ->
+      let store =
+        store_with (List.map (fun (prober, link, up) -> (100., prober, link, up)) raw)
+      in
+      let blame =
+        Blame.blame blame_config ~observations:store ~links:[| 0; 1; 2; 3 |] ~drop_time:100.
+          ~exclude_prober:0 ()
+      in
+      blame >= 0. && blame <= 1.)
+
+(* ---------- Verdict window ---------- *)
+
+let entry verdict blame =
+  { Verdict_window.verdict; blame; drop_time = 0.; evidence = () }
+
+let test_verdict_window_counting () =
+  let w = Verdict_window.create ~window_size:3 in
+  Verdict_window.record w (entry Blame.Guilty 0.9);
+  Verdict_window.record w (entry Blame.Innocent 0.1);
+  Verdict_window.record w (entry Blame.Guilty 0.8);
+  check Alcotest.int "guilty count" 2 (Verdict_window.guilty_count w);
+  check Alcotest.bool "accuse at m=2" true (Verdict_window.should_accuse w ~m:2);
+  check Alcotest.bool "not at m=3" false (Verdict_window.should_accuse w ~m:3);
+  (* Sliding: a fourth verdict evicts the first guilty one. *)
+  Verdict_window.record w (entry Blame.Innocent 0.2);
+  check Alcotest.int "slid" 1 (Verdict_window.guilty_count w);
+  check Alcotest.int "length capped" 3 (Verdict_window.length w)
+
+(* ---------- Accusation model ---------- *)
+
+let test_accusation_model_paper_values () =
+  (* Paper Section 4.3: honest probing (p_good=0.018, p_faulty=0.938), w=100
+     -> m=6 drives both error rates below 1%. With 20% collusion
+     (0.084/0.713) -> m=16. *)
+  check (Alcotest.option Alcotest.int) "honest m" (Some 6)
+    (Accusation_model.smallest_m_below ~w:100 ~p_good:0.018 ~p_faulty:0.938 ~target:0.01);
+  check (Alcotest.option Alcotest.int) "collusion m" (Some 16)
+    (Accusation_model.smallest_m_below ~w:100 ~p_good:0.084 ~p_faulty:0.713 ~target:0.01)
+
+let test_accusation_model_monotonicity () =
+  let fp m = Accusation_model.false_positive ~w:50 ~m ~p_good:0.1 in
+  let fn m = Accusation_model.false_negative ~w:50 ~m ~p_faulty:0.7 in
+  check Alcotest.bool "fp decreasing in m" true (fp 5 >= fp 10 && fp 10 >= fp 20);
+  check Alcotest.bool "fn increasing in m" true (fn 5 <= fn 10 && fn 10 <= fn 20)
+
+let prop_accusation_model_complementary =
+  QCheck.Test.make ~name:"Pr(W>=m) + Pr(W<m) = 1" ~count:100
+    QCheck.(triple (int_range 1 60) (int_range 1 60) (float_bound_inclusive 1.))
+    (fun (w, m, p) ->
+      QCheck.assume (m <= w);
+      let total =
+        Accusation_model.false_positive ~w ~m ~p_good:p
+        +. Accusation_model.false_negative ~w ~m ~p_faulty:p
+      in
+      abs_float (total -. 1.) < 1e-9)
+
+(* ---------- Commitment & Accusation ---------- *)
+
+type principal = { id : Id.t; key : Pki.public_key; secret : Pki.secret_key }
+
+let principal pki seed name =
+  let id = Id.random (Prng.of_seed seed) in
+  let cert, secret = Pki.issue pki ~address:name ~node_id:(Id.to_hex id) in
+  { id; key = cert.Pki.subject_key; secret }
+
+let accusation_fixture () =
+  let pki = Pki.create ~seed:90L in
+  let alice = principal pki 91L "alice" in
+  let bob = principal pki 92L "bob" in
+  let carol = principal pki 93L "carol" in
+  let zed = principal pki 94L "zed" in
+  let commitment =
+    Commitment.issue ~forwarder:bob.id ~secret:bob.secret ~public:bob.key ~sender:alice.id
+      ~destination:zed.id ~message_id:"m1" ~now:99.
+  in
+  (* Two probers vouch the path links were up: the network is clean, so the
+     blame for the drop lands on Bob. *)
+  let vote link prober =
+    Accusation.make_vote ~prober:prober.id ~secret:prober.secret ~public:prober.key ~link
+      ~time:100. ~up:true
+  in
+  let evidence =
+    {
+      Accusation.path_links = [| 4; 9 |];
+      link_votes =
+        [
+          { Accusation.link = 4; votes = [ vote 4 carol; vote 4 zed ] };
+          { Accusation.link = 9; votes = [ vote 9 carol ] };
+        ];
+      drop_time = 100.;
+      commitment;
+    }
+  in
+  (pki, alice, bob, evidence)
+
+let test_commitment_verify_and_covers () =
+  let pki, alice, bob, evidence = accusation_fixture () in
+  let commitment = evidence.Accusation.commitment in
+  check Alcotest.bool "verifies" true (Commitment.verify pki commitment);
+  check Alcotest.bool "covers" true
+    (Commitment.covers commitment ~forwarder:bob.id ~sender:alice.id
+       ~destination:(Signed.payload commitment).Commitment.destination ~message_id:"m1");
+  check Alcotest.bool "wrong message id" false
+    (Commitment.covers commitment ~forwarder:bob.id ~sender:alice.id
+       ~destination:(Signed.payload commitment).Commitment.destination ~message_id:"m2")
+
+let test_accusation_roundtrip () =
+  let pki, alice, bob, evidence = accusation_fixture () in
+  let accusation =
+    Accusation.make ~accuser:alice.id ~secret:alice.secret ~public:alice.key ~accused:bob.id
+      ~config:Blame.paper_config ~evidence ~supporting:[] ~now:101.
+  in
+  (* All votes say "up": blame = 1 - (1 - a) = 0.9. *)
+  checkf 1e-9 "blame" 0.9 (Signed.payload accusation).Accusation.blame;
+  check Alcotest.bool "third-party verification" true
+    (Accusation.verify pki accusation = Ok ())
+
+let test_accusation_rejects_tampered_blame () =
+  let pki, alice, bob, evidence = accusation_fixture () in
+  let accusation =
+    Accusation.make ~accuser:alice.id ~secret:alice.secret ~public:alice.key ~accused:bob.id
+      ~config:Blame.paper_config ~evidence ~supporting:[] ~now:101.
+  in
+  let body = Signed.payload accusation in
+  (* Inflate the claimed blame but forge the signature: caught at step 1. *)
+  let forged =
+    Signed.forge ~signer:(Signed.signer accusation)
+      ~fake_signature:(Pki.signature_of_string "xx")
+      { body with Accusation.blame = 1.0 }
+  in
+  check Alcotest.bool "bad signature" true
+    (Accusation.verify pki forged = Error Accusation.Bad_signature)
+
+let test_accusation_requires_matching_commitment () =
+  let pki, alice, bob, evidence = accusation_fixture () in
+  ignore bob;
+  let mallory = principal pki 95L "mallory" in
+  (* Mallory reuses Bob's commitment to accuse... herself as the accuser is
+     fine, but naming a different accused must fail the commitment check. *)
+  let accusation =
+    Accusation.make ~accuser:alice.id ~secret:alice.secret ~public:alice.key
+      ~accused:mallory.id ~config:Blame.paper_config ~evidence ~supporting:[] ~now:101.
+  in
+  check Alcotest.bool "commitment mismatch" true
+    (Accusation.verify pki accusation = Error Accusation.Commitment_mismatch)
+
+let test_accusation_rejects_unsupported_evidence () =
+  let _, alice, bob, evidence = accusation_fixture () in
+  (* Erase the votes: blame over no evidence is 1.0 -- wait, no votes means
+     no network evidence, i.e. full blame. Instead flip the votes to all
+     "down": blame 0.1 < threshold, so making the accusation must fail. *)
+  let flipped =
+    {
+      evidence with
+      Accusation.link_votes =
+        List.map
+          (fun le ->
+            {
+              le with
+              Accusation.votes =
+                List.map (fun v -> { v with Accusation.up = false }) le.Accusation.votes;
+            })
+          evidence.Accusation.link_votes;
+    }
+  in
+  Alcotest.check_raises "below threshold"
+    (Invalid_argument "Accusation.make: evidence does not support a guilty verdict") (fun () ->
+      ignore
+        (Accusation.make ~accuser:alice.id ~secret:alice.secret ~public:alice.key
+           ~accused:bob.id ~config:Blame.paper_config ~evidence:flipped ~supporting:[] ~now:101.))
+
+let test_accusation_rejects_tampered_votes () =
+  let pki, alice, bob, evidence = accusation_fixture () in
+  let accusation =
+    Accusation.make ~accuser:alice.id ~secret:alice.secret ~public:alice.key ~accused:bob.id
+      ~config:Blame.paper_config ~evidence ~supporting:[] ~now:101.
+  in
+  let body = Signed.payload accusation in
+  (* Flip a vote inside otherwise-valid evidence and re-sign the accusation
+     honestly: the vote's own signature no longer matches. *)
+  let tampered_evidence =
+    {
+      body.Accusation.evidence with
+      Accusation.link_votes =
+        List.map
+          (fun le ->
+            {
+              le with
+              Accusation.votes =
+                List.map (fun v -> { v with Accusation.up = false }) le.Accusation.votes;
+            })
+          body.Accusation.evidence.Accusation.link_votes;
+    }
+  in
+  let reissued =
+    Signed.make ~serialize:Accusation.serialize_body ~signer:alice.key ~secret:alice.secret
+      { body with Accusation.evidence = tampered_evidence; blame = 0.9 }
+  in
+  check Alcotest.bool "vote signatures catch tampering" true
+    (Accusation.verify pki reissued = Error Accusation.Bad_vote_signature)
+
+(* ---------- DHT ---------- *)
+
+let dht_fixture () =
+  let rng = Prng.of_seed 96L in
+  let ids = Array.init 64 (fun _ -> Id.random rng) in
+  let pastry = Pastry.build ~leaf_half_size:4 ids in
+  Dht.create ~pastry ~replication:3
+
+let test_dht_put_get () =
+  let dht = dht_fixture () in
+  let pki, alice, bob, evidence = accusation_fixture () in
+  ignore pki;
+  let accusation =
+    Accusation.make ~accuser:alice.id ~secret:alice.secret ~public:alice.key ~accused:bob.id
+      ~config:Blame.paper_config ~evidence ~supporting:[] ~now:101.
+  in
+  let accused_key = Pki.public_key_of_string "bobs-public-key" in
+  let hops = ref 0 in
+  Dht.put dht ~from:0 ~accused_key accusation ~hops;
+  check Alcotest.int "replicated" 3 (Dht.total_records dht);
+  (* Idempotent: same record again. *)
+  Dht.put dht ~from:5 ~accused_key accusation ~hops;
+  check Alcotest.int "idempotent" 3 (Dht.total_records dht);
+  let fetched = Dht.get dht ~from:9 ~accused_key ~hops in
+  check Alcotest.int "fetched" 1 (List.length fetched);
+  check Alcotest.bool "hops consumed" true (!hops >= 0);
+  let other = Dht.get dht ~from:9 ~accused_key:(Pki.public_key_of_string "nobody") ~hops in
+  check Alcotest.int "other key empty" 0 (List.length other)
+
+let test_dht_replicas_distinct () =
+  let dht = dht_fixture () in
+  let key = Id.random (Prng.of_seed 97L) in
+  let replicas = Dht.replica_nodes dht ~key in
+  check Alcotest.int "replication factor" 3 (List.length replicas);
+  check Alcotest.int "distinct" 3 (List.length (List.sort_uniq compare replicas))
+
+(* ---------- Stewardship ---------- *)
+
+let judgment ?(valid = true) ?(pushed = true) judge target =
+  { Stewardship.judge; target; blame = 0.9; evidence_valid = valid; pushed }
+
+let resolve judgments first =
+  let table = Hashtbl.create 8 in
+  List.iter (fun j -> Hashtbl.replace table j.Stewardship.judge j) judgments;
+  Stewardship.resolve ~first_judge:first ~judgment_of:(Hashtbl.find_opt table)
+
+let test_stewardship_full_revision_chain () =
+  (* A(0) blames B(1), B blames C(2), C blames D(3); D has nothing to push:
+     D is the culprit, B and C exonerated. *)
+  let r =
+    resolve
+      [
+        judgment 0 (Stewardship.Next_hop 1);
+        judgment 1 (Stewardship.Next_hop 2);
+        judgment 2 (Stewardship.Next_hop 3);
+      ]
+      0
+  in
+  check Alcotest.bool "final is D" true (r.Stewardship.final = Some (Stewardship.Next_hop 3));
+  check (Alcotest.list Alcotest.int) "exonerated" [ 1; 2 ] r.Stewardship.exonerated
+
+let test_stewardship_withheld_verdict_self_incriminates () =
+  (* C refuses to push its verdict: blame stops at C. *)
+  let r =
+    resolve
+      [
+        judgment 0 (Stewardship.Next_hop 1);
+        judgment 1 (Stewardship.Next_hop 2);
+        judgment ~pushed:false 2 (Stewardship.Next_hop 3);
+      ]
+      0
+  in
+  check Alcotest.bool "final is C" true (r.Stewardship.final = Some (Stewardship.Next_hop 2))
+
+let test_stewardship_invalid_evidence_rejected () =
+  let r =
+    resolve
+      [
+        judgment 0 (Stewardship.Next_hop 1);
+        judgment ~valid:false 1 (Stewardship.Next_hop 2);
+      ]
+      0
+  in
+  check Alcotest.bool "unverifiable revision ignored" true
+    (r.Stewardship.final = Some (Stewardship.Next_hop 1))
+
+let test_stewardship_network_verdict_terminates () =
+  let r =
+    resolve
+      [ judgment 0 (Stewardship.Next_hop 1); judgment 1 Stewardship.Network ]
+      0
+  in
+  check Alcotest.bool "network blamed" true (r.Stewardship.final = Some Stewardship.Network);
+  check (Alcotest.list Alcotest.int) "B exonerated" [ 1 ] r.Stewardship.exonerated
+
+let test_stewardship_no_judgment () =
+  let r = resolve [] 0 in
+  check Alcotest.bool "nothing to diagnose" true (r.Stewardship.final = None)
+
+let test_stewardship_cycle_guard () =
+  let r =
+    resolve
+      [ judgment 0 (Stewardship.Next_hop 1); judgment 1 (Stewardship.Next_hop 0) ]
+      0
+  in
+  (* 1 pushes blame back to 0, which is already visited: stop at 0 rather
+     than loop. *)
+  check Alcotest.bool "terminates" true (r.Stewardship.final <> None)
+
+let test_chain_of_route () =
+  let judgments = ref [] in
+  let judge ~judge:j ~suspect:s =
+    judgments := (j, s) :: !judgments;
+    Some (judgment j (Stewardship.Next_hop s))
+  in
+  let chain =
+    Stewardship.chain_of_route ~hops:[ 0; 1; 2; 3 ] ~faulty:(fun v -> v = 2) ~judge
+  in
+  (* Hops 0 and 1 saw the message (2 dropped it); hop 2 judges nobody
+     downstream because nothing left it. *)
+  check Alcotest.int "two judgments" 2 (List.length chain);
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "judge pairs"
+    [ (0, 1); (1, 2) ] (List.rev !judgments)
+
+(* ---------- Bandwidth ---------- *)
+
+let test_bandwidth_paper_numbers () =
+  let p = Bandwidth.paper_params in
+  let entries = Bandwidth.expected_routing_entries p in
+  check Alcotest.bool (Printf.sprintf "entries %.1f ~ 77" entries) true
+    (entries > 74. && entries < 80.);
+  let state_kib = Bandwidth.advertised_state_bytes p /. 1024. in
+  check Alcotest.bool (Printf.sprintf "state %.2f KiB ~ 11.5" state_kib) true
+    (state_kib > 10. && state_kib < 12.5);
+  let probe_mib = Bandwidth.heavyweight_probe_bytes p /. (1024. *. 1024.) in
+  check Alcotest.bool (Printf.sprintf "probing %.2f MiB ~ 16.7" probe_mib) true
+    (probe_mib > 15.5 && probe_mib < 18.5);
+  checkf 1e-9 "lightweight free" 0. (Bandwidth.lightweight_extra_bytes p)
+
+(* ---------- Validation ---------- *)
+
+let validation_fixture () =
+  let rng = Prng.of_seed 98L in
+  let pki = Pki.create ~seed:99L in
+  let sorted = Array.init 256 (fun _ -> Id.random rng) in
+  Array.sort Id.compare sorted;
+  let local_leaf = Leaf_set.build ~owner:sorted.(0) ~sorted_ids:sorted ~half_size:8 in
+  let peer_id = sorted.(100) in
+  let peer_cert, peer_secret = Pki.issue pki ~address:"peer" ~node_id:(Id.to_hex peer_id) in
+  let peer_leaf = Leaf_set.build ~owner:peer_id ~sorted_ids:sorted ~half_size:8 in
+  let target_id = sorted.(101) in
+  let target_cert, target_secret =
+    Pki.issue pki ~address:"target" ~node_id:(Id.to_hex target_id)
+  in
+  let stamp =
+    Freshness.issue ~holder:target_id ~secret:target_secret
+      ~public:target_cert.Pki.subject_key ~now:95.
+  in
+  let summary =
+    { Snapshot.peer = target_id; loss_level = 0; freshness = stamp }
+  in
+  let snapshot =
+    Snapshot.make ~origin:peer_id ~secret:peer_secret ~public:peer_cert.Pki.subject_key
+      ~now:100. ~summaries:[ summary ]
+  in
+  let local = { Validation.own_jump_occupancy = 40; own_leaf_set = local_leaf } in
+  let advertisement =
+    { Validation.snapshot; jump_table_occupancy = 38; leaf_set = peer_leaf }
+  in
+  (pki, local, advertisement)
+
+let test_validation_accepts_honest () =
+  let pki, local, advertisement = validation_fixture () in
+  check Alcotest.int "no failures" 0
+    (List.length (Validation.check pki ~now:100. Validation.default_config ~local advertisement))
+
+let test_validation_flags_sparse_table () =
+  let pki, local, advertisement = validation_fixture () in
+  let sparse = { advertisement with Validation.jump_table_occupancy = 10 } in
+  let failures = Validation.check pki ~now:100. Validation.default_config ~local sparse in
+  check Alcotest.bool "sparse table flagged" true
+    (List.exists
+       (function Validation.Sparse_jump_table _ -> true | _ -> false)
+       failures)
+
+let test_validation_flags_stale_stamp () =
+  let pki, local, advertisement = validation_fixture () in
+  let failures =
+    Validation.check pki ~now:5_000. Validation.default_config ~local advertisement
+  in
+  check Alcotest.bool "stale stamp flagged" true
+    (List.exists
+       (function Validation.Stale_or_invalid_stamp _ -> true | _ -> false)
+       failures)
+
+(* ---------- Sanction ---------- *)
+
+let test_sanction_policies () =
+  let clean = { Sanction.verified_accusations = 0; observation_hours = 10. } in
+  let dirty = { Sanction.verified_accusations = 25; observation_hours = 10. } in
+  check Alcotest.bool "clean untouched" true
+    (Sanction.evaluate Sanction.Distrust_sensitive clean = Sanction.No_action);
+  check Alcotest.bool "distrust" true
+    (Sanction.evaluate Sanction.Distrust_sensitive dirty = Sanction.Distrust);
+  check Alcotest.bool "blacklist above rate" true
+    (Sanction.evaluate (Sanction.Universal_blacklist { accusations_per_hour = 2. }) dirty
+    = Sanction.Blacklist);
+  check Alcotest.bool "below rate" true
+    (Sanction.evaluate (Sanction.Universal_blacklist { accusations_per_hour = 3. }) dirty
+    = Sanction.No_action);
+  check Alcotest.bool "leaf-set eviction forbidden" false
+    (Sanction.allows_leaf_set_eviction Sanction.Distrust_sensitive)
+
+(* ---------- World ---------- *)
+
+let world_fixture = lazy (World.build (World.tiny_config ~seed:123L))
+
+let test_world_invariants () =
+  let world = Lazy.force world_fixture in
+  let n = World.node_count world in
+  check Alcotest.bool "nontrivial" true (n >= 10);
+  for v = 0 to n - 1 do
+    (* Every peer path starts at v's router and ends at the peer's router. *)
+    Array.iteri
+      (fun i path ->
+        match path with
+        | None -> ()
+        | Some path ->
+            let peer = world.World.peers.(v).(i) in
+            let nodes = path.World.Routes.nodes in
+            check Alcotest.int "starts at host" world.World.host_router.(v) nodes.(0);
+            check Alcotest.int "ends at peer" world.World.host_router.(peer)
+              nodes.(Array.length nodes - 1))
+      world.World.peer_paths.(v)
+  done
+
+let test_world_tree_roots () =
+  let world = Lazy.force world_fixture in
+  for v = 0 to World.node_count world - 1 do
+    check Alcotest.int "tree rooted at host" world.World.host_router.(v)
+      (World.Tree.root world.World.trees.(v))
+  done
+
+let test_world_vouchers_are_tree_members () =
+  let world = Lazy.force world_fixture in
+  let some_link = (World.Tree.physical_links world.World.trees.(0)).(0) in
+  let vouchers = World.vouchers world ~link:some_link in
+  check Alcotest.bool "node 0 vouches for its own tree" true (List.mem 0 vouchers);
+  List.iter
+    (fun v ->
+      check Alcotest.bool "voucher's tree covers the link" true
+        (Array.exists (( = ) some_link) (World.Tree.physical_links world.World.trees.(v))))
+    vouchers
+
+let test_world_certificates_valid () =
+  let world = Lazy.force world_fixture in
+  Array.iter
+    (fun certificate ->
+      check Alcotest.bool "CA-signed" true
+        (Pki.verify_certificate world.World.pki certificate))
+    world.World.certificates
+
+let test_world_forest_includes_own_tree () =
+  let world = Lazy.force world_fixture in
+  let forest = World.forest_links world 0 in
+  Array.iter
+    (fun link -> check Alcotest.bool "own tree in forest" true (Array.exists (( = ) link) forest))
+    (World.Tree.physical_links world.World.trees.(0))
+
+
+(* ---------- Ack batching (Section 3.7) ---------- *)
+
+module Ack_batch = Concilium_core.Ack_batch
+
+let test_ack_batch_counter () =
+  let batch = Ack_batch.create () in
+  List.iter (fun id -> Ack_batch.record_received batch ~message_id:id) [ "a"; "b"; "b" ];
+  check Alcotest.int "dedup" 2 (Ack_batch.received_count batch);
+  let summary = Ack_batch.flush batch ~encoding:`Counter in
+  check Alcotest.int "counter bytes" (128 + 4) (Ack_batch.wire_bytes summary);
+  (* All sent arrived: the counter can certify it. *)
+  check
+    (Alcotest.option (Alcotest.list Alcotest.string))
+    "counter matches" (Some []) (Ack_batch.missing ~sent:[ "a"; "b" ] summary);
+  (* A counter mismatch proves loss but cannot name the victim. *)
+  check
+    (Alcotest.option (Alcotest.list Alcotest.string))
+    "counter cannot localise" None
+    (Ack_batch.missing ~sent:[ "a"; "b"; "c" ] summary);
+  check Alcotest.int "flushed" 0 (Ack_batch.received_count batch)
+
+let test_ack_batch_hashes () =
+  let batch = Ack_batch.create () in
+  List.iter (fun id -> Ack_batch.record_received batch ~message_id:id) [ "a"; "c" ];
+  let summary = Ack_batch.flush batch ~encoding:`Hashes in
+  check
+    (Alcotest.option (Alcotest.list Alcotest.string))
+    "hashes localise the loss" (Some [ "b" ])
+    (Ack_batch.missing ~sent:[ "a"; "b"; "c" ] summary);
+  check Alcotest.int "hash bytes" (128 + 64) (Ack_batch.wire_bytes summary)
+
+
+(* ---------- Rebuttal (Section 3.5) ---------- *)
+
+module Rebuttal = Concilium_core.Rebuttal
+
+let rebuttal_fixture () =
+  (* A accuses B; B holds an archived onward verdict against C for the same
+     drop. *)
+  let pki = Pki.create ~seed:150L in
+  let alice = principal pki 151L "alice" in
+  let bob = principal pki 152L "bob" in
+  let carol = principal pki 153L "carol" in
+  let dave = principal pki 154L "dave" in
+  let zed = principal pki 155L "zed" in
+  let vote link prober =
+    Accusation.make_vote ~prober:prober.id ~secret:prober.secret ~public:prober.key ~link
+      ~time:100. ~up:true
+  in
+  let commitment_for forwarder sender =
+    Commitment.issue ~forwarder:forwarder.id ~secret:forwarder.secret ~public:forwarder.key
+      ~sender:sender.id ~destination:zed.id ~message_id:"m9" ~now:99.
+  in
+  let evidence ~links ~commitment =
+    {
+      Accusation.path_links = links;
+      link_votes =
+        Array.to_list links
+        |> List.map (fun link -> { Accusation.link; votes = [ vote link dave; vote link zed ] });
+      drop_time = 100.;
+      commitment;
+    }
+  in
+  let accusation_against_bob =
+    Accusation.make ~accuser:alice.id ~secret:alice.secret ~public:alice.key ~accused:bob.id
+      ~config:Blame.paper_config
+      ~evidence:(evidence ~links:[| 1; 2 |] ~commitment:(commitment_for bob alice))
+      ~supporting:[] ~now:101.
+  in
+  let bobs_onward_verdict =
+    Accusation.make ~accuser:bob.id ~secret:bob.secret ~public:bob.key ~accused:carol.id
+      ~config:Blame.paper_config
+      ~evidence:(evidence ~links:[| 3; 4 |] ~commitment:(commitment_for carol bob))
+      ~supporting:[] ~now:101.
+  in
+  (pki, carol, accusation_against_bob, bobs_onward_verdict)
+
+let test_rebuttal_shifts_blame () =
+  let pki, carol, accusation, onward = rebuttal_fixture () in
+  let archive = Rebuttal.create_archive () in
+  Rebuttal.record archive onward;
+  check Alcotest.int "archived" 1 (Rebuttal.archive_size archive);
+  let rebuttal = Rebuttal.defend archive ~against:accusation in
+  check Alcotest.bool "defense found" true (rebuttal <> None);
+  (match Rebuttal.adjudicate pki ~accusation ~rebuttal with
+  | Rebuttal.Blame_shifted culprit ->
+      check Alcotest.string "shifted to C" (Id.to_hex carol.id) (Id.to_hex culprit)
+  | Rebuttal.Accusation_stands -> Alcotest.fail "rebuttal ignored"
+  | Rebuttal.Accusation_invalid _ -> Alcotest.fail "accusation should verify")
+
+let test_rebuttal_absent_accusation_stands () =
+  let pki, _, accusation, _ = rebuttal_fixture () in
+  check Alcotest.bool "stands" true
+    (Rebuttal.adjudicate pki ~accusation ~rebuttal:None = Rebuttal.Accusation_stands)
+
+let test_rebuttal_from_wrong_node_rejected () =
+  let pki, _, accusation, _ = rebuttal_fixture () in
+  (* A rebuttal must be authored by the accused; reusing the accusation
+     itself (authored by Alice) must not shift blame. *)
+  check Alcotest.bool "foreign rebuttal rejected" true
+    (Rebuttal.adjudicate pki ~accusation ~rebuttal:(Some accusation)
+    = Rebuttal.Accusation_stands)
+
+let test_rebuttal_stale_drop_time_rejected () =
+  let pki, _, accusation, onward = rebuttal_fixture () in
+  ignore pki;
+  let archive = Rebuttal.create_archive () in
+  Rebuttal.record archive onward;
+  (* An accusation whose drop happened an hour later finds no covering
+     onward verdict in the archive. *)
+  let later_body = Signed.payload accusation in
+  let later_evidence =
+    { later_body.Accusation.evidence with Accusation.drop_time = 3700. }
+  in
+  let later =
+    Signed.forge
+      ~signer:(Signed.signer accusation)
+      ~fake_signature:(Pki.signature_of_string "n/a")
+      { later_body with Accusation.evidence = later_evidence }
+  in
+  check Alcotest.bool "no covering verdict" true (Rebuttal.defend archive ~against:later = None)
+
+
+let test_accusation_supporting_evidence () =
+  let pki, alice, bob, evidence = accusation_fixture () in
+  (* A second drop's archived evidence travels with the accusation. *)
+  let accusation =
+    Accusation.make ~accuser:alice.id ~secret:alice.secret ~public:alice.key ~accused:bob.id
+      ~config:Blame.paper_config ~evidence
+      ~supporting:[ { evidence with Accusation.drop_time = 220. } ]
+      ~now:230.
+  in
+  check Alcotest.bool "verifies with supporting evidence" true
+    (Accusation.verify pki accusation = Ok ());
+  (* Supporting evidence that does not clear the threshold is rejected. *)
+  let weak =
+    {
+      evidence with
+      Accusation.link_votes =
+        List.map
+          (fun le ->
+            {
+              le with
+              Accusation.votes =
+                List.map (fun v -> { v with Accusation.up = false }) le.Accusation.votes;
+            })
+          evidence.Accusation.link_votes;
+    }
+  in
+  let body = Signed.payload accusation in
+  let reissued =
+    Signed.make ~serialize:Accusation.serialize_body ~signer:alice.key ~secret:alice.secret
+      { body with Accusation.supporting = [ weak ] }
+  in
+  check Alcotest.bool "weak supporting evidence rejected" true
+    (Accusation.verify pki reissued = Error Accusation.Weak_supporting_evidence)
+
+let suites =
+  [
+    ( "core.blame",
+      [
+        Alcotest.test_case "paper worked example (0.6)" `Quick test_blame_paper_worked_example;
+        Alcotest.test_case "no votes" `Quick test_blame_no_votes;
+        Alcotest.test_case "judged node excluded" `Quick test_blame_excludes_judged_node;
+        Alcotest.test_case "time window" `Quick test_blame_window_filtering;
+        Alcotest.test_case "fuzzy OR over links" `Quick test_blame_fuzzy_or_takes_worst_link;
+        Alcotest.test_case "visibility filter" `Quick test_blame_visibility_filter;
+        Alcotest.test_case "verdict threshold" `Quick test_verdict_threshold;
+        qtest prop_blame_in_unit_interval;
+      ] );
+    ( "core.verdict_window",
+      [ Alcotest.test_case "sliding window counting" `Quick test_verdict_window_counting ] );
+    ( "core.accusation_model",
+      [
+        Alcotest.test_case "paper's m=6 and m=16" `Quick test_accusation_model_paper_values;
+        Alcotest.test_case "monotonicity" `Quick test_accusation_model_monotonicity;
+        qtest prop_accusation_model_complementary;
+      ] );
+    ( "core.accusation",
+      [
+        Alcotest.test_case "commitment verify/covers" `Quick test_commitment_verify_and_covers;
+        Alcotest.test_case "make and verify" `Quick test_accusation_roundtrip;
+        Alcotest.test_case "tampered blame rejected" `Quick test_accusation_rejects_tampered_blame;
+        Alcotest.test_case "commitment must name accused" `Quick
+          test_accusation_requires_matching_commitment;
+        Alcotest.test_case "unsupported evidence unmakeable" `Quick
+          test_accusation_rejects_unsupported_evidence;
+        Alcotest.test_case "tampered votes rejected" `Quick test_accusation_rejects_tampered_votes;
+        Alcotest.test_case "supporting evidence verified" `Quick
+          test_accusation_supporting_evidence;
+      ] );
+    ( "core.dht",
+      [
+        Alcotest.test_case "put/get with replication" `Quick test_dht_put_get;
+        Alcotest.test_case "distinct replicas" `Quick test_dht_replicas_distinct;
+      ] );
+    ( "core.stewardship",
+      [
+        Alcotest.test_case "full revision chain" `Quick test_stewardship_full_revision_chain;
+        Alcotest.test_case "withheld verdict self-incriminates" `Quick
+          test_stewardship_withheld_verdict_self_incriminates;
+        Alcotest.test_case "invalid evidence rejected" `Quick
+          test_stewardship_invalid_evidence_rejected;
+        Alcotest.test_case "network verdict terminates" `Quick
+          test_stewardship_network_verdict_terminates;
+        Alcotest.test_case "no judgment" `Quick test_stewardship_no_judgment;
+        Alcotest.test_case "cycle guard" `Quick test_stewardship_cycle_guard;
+        Alcotest.test_case "chain_of_route" `Quick test_chain_of_route;
+      ] );
+    ( "core.bandwidth",
+      [ Alcotest.test_case "Section 4.4 numbers" `Quick test_bandwidth_paper_numbers ] );
+    ( "core.validation",
+      [
+        Alcotest.test_case "accepts honest advertisement" `Quick test_validation_accepts_honest;
+        Alcotest.test_case "flags sparse jump table" `Quick test_validation_flags_sparse_table;
+        Alcotest.test_case "flags stale stamps" `Quick test_validation_flags_stale_stamp;
+      ] );
+    ("core.sanction", [ Alcotest.test_case "policies" `Quick test_sanction_policies ]);
+    ( "core.rebuttal",
+      [
+        Alcotest.test_case "verified rebuttal shifts blame" `Quick test_rebuttal_shifts_blame;
+        Alcotest.test_case "no rebuttal: accusation stands" `Quick
+          test_rebuttal_absent_accusation_stands;
+        Alcotest.test_case "foreign rebuttal rejected" `Quick
+          test_rebuttal_from_wrong_node_rejected;
+        Alcotest.test_case "stale verdicts do not cover" `Quick
+          test_rebuttal_stale_drop_time_rejected;
+      ] );
+    ( "core.ack_batch",
+      [
+        Alcotest.test_case "counter encoding" `Quick test_ack_batch_counter;
+        Alcotest.test_case "hash encoding" `Quick test_ack_batch_hashes;
+      ] );
+    ( "core.world",
+      [
+        Alcotest.test_case "route invariants" `Quick test_world_invariants;
+        Alcotest.test_case "tree roots" `Quick test_world_tree_roots;
+        Alcotest.test_case "voucher index" `Quick test_world_vouchers_are_tree_members;
+        Alcotest.test_case "certificates" `Quick test_world_certificates_valid;
+        Alcotest.test_case "forest contains own tree" `Quick test_world_forest_includes_own_tree;
+      ] );
+  ]

@@ -1,0 +1,147 @@
+module Sha256 = Concilium_crypto.Sha256
+module Hmac = Concilium_crypto.Hmac
+module Pki = Concilium_crypto.Pki
+module Signed = Concilium_crypto.Signed
+module Nonce = Concilium_crypto.Nonce
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- SHA-256: FIPS 180-4 / NIST test vectors ---------- *)
+
+let test_sha256_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ]
+  in
+  List.iter
+    (fun (input, expected) -> check Alcotest.string input expected (Sha256.hex_digest input))
+    cases
+
+let test_sha256_million_a () =
+  check Alcotest.string "million 'a'"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex_digest (String.make 1_000_000 'a'))
+
+let test_sha256_length_boundaries () =
+  (* Exercise every padding branch: message lengths around the 55/56/64
+     byte boundaries all hash without error and distinctly. *)
+  let digests =
+    List.map (fun n -> Sha256.hex_digest (String.make n 'x')) [ 54; 55; 56; 57; 63; 64; 65 ]
+  in
+  check Alcotest.int "all distinct" (List.length digests)
+    (List.length (List.sort_uniq compare digests))
+
+let test_digest_list_unambiguous () =
+  check Alcotest.bool "field boundaries matter" false
+    (String.equal (Sha256.digest_list [ "ab"; "c" ]) (Sha256.digest_list [ "a"; "bc" ]))
+
+(* ---------- HMAC-SHA256: RFC 4231 vectors ---------- *)
+
+let test_hmac_rfc4231 () =
+  let case1 = Hmac.sha256_hex ~key:(String.make 20 '\x0b') "Hi There" in
+  check Alcotest.string "case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7" case1;
+  let case2 = Hmac.sha256_hex ~key:"Jefe" "what do ya want for nothing?" in
+  check Alcotest.string "case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843" case2;
+  let case6 =
+    Hmac.sha256_hex ~key:(String.make 131 '\xaa')
+      "Test Using Larger Than Block-Size Key - Hash Key First"
+  in
+  check Alcotest.string "case 6 (key > block)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54" case6
+
+(* ---------- PKI ---------- *)
+
+let test_pki_sign_verify () =
+  let pki = Pki.create ~seed:99L in
+  let cert, secret = Pki.issue pki ~address:"10.0.0.1" ~node_id:"abc" in
+  let signature = Pki.sign secret "hello" in
+  check Alcotest.bool "verifies" true (Pki.verify pki cert.Pki.subject_key "hello" signature);
+  check Alcotest.bool "wrong message" false
+    (Pki.verify pki cert.Pki.subject_key "hellp" signature);
+  let other_cert, _ = Pki.issue pki ~address:"10.0.0.2" ~node_id:"def" in
+  check Alcotest.bool "wrong key" false
+    (Pki.verify pki other_cert.Pki.subject_key "hello" signature)
+
+let test_pki_unknown_key () =
+  let pki = Pki.create ~seed:99L in
+  let _, secret = Pki.issue pki ~address:"10.0.0.1" ~node_id:"abc" in
+  let signature = Pki.sign secret "hello" in
+  check Alcotest.bool "unknown key rejected" false
+    (Pki.verify pki (Pki.public_key_of_string "deadbeef") "hello" signature)
+
+let test_pki_certificates () =
+  let pki = Pki.create ~seed:5L in
+  let cert, _ = Pki.issue pki ~address:"10.1.2.3" ~node_id:"node-7" in
+  check Alcotest.bool "certificate verifies" true (Pki.verify_certificate pki cert);
+  let tampered = { cert with Pki.subject_address = "10.9.9.9" } in
+  check Alcotest.bool "tampered rejected" false (Pki.verify_certificate pki tampered)
+
+(* ---------- Signed envelopes ---------- *)
+
+let serialize s = s
+
+let test_signed_roundtrip () =
+  let pki = Pki.create ~seed:5L in
+  let cert, secret = Pki.issue pki ~address:"a" ~node_id:"n" in
+  let envelope = Signed.make ~serialize ~signer:cert.Pki.subject_key ~secret "payload" in
+  check Alcotest.bool "checks" true (Signed.check ~serialize pki envelope);
+  check Alcotest.string "payload" "payload" (Signed.payload envelope)
+
+let test_signed_forgery_rejected () =
+  let pki = Pki.create ~seed:5L in
+  let cert, _ = Pki.issue pki ~address:"a" ~node_id:"n" in
+  let forged =
+    Signed.forge ~signer:cert.Pki.subject_key
+      ~fake_signature:(Pki.signature_of_string "0000") "payload"
+  in
+  check Alcotest.bool "forged rejected" false (Signed.check ~serialize pki forged)
+
+let prop_signed_any_payload =
+  QCheck.Test.make ~name:"signed envelopes verify for arbitrary payloads" ~count:100
+    QCheck.(string_of_size Gen.small_nat)
+    (fun payload ->
+      let pki = Pki.create ~seed:17L in
+      let cert, secret = Pki.issue pki ~address:"a" ~node_id:"n" in
+      let envelope = Signed.make ~serialize ~signer:cert.Pki.subject_key ~secret payload in
+      Signed.check ~serialize pki envelope)
+
+(* ---------- Nonces ---------- *)
+
+let test_nonce_uniqueness () =
+  let generate = Nonce.generator ~seed:4L in
+  let nonces = List.init 1000 (fun _ -> Nonce.to_string (generate ())) in
+  check Alcotest.int "all distinct" 1000 (List.length (List.sort_uniq compare nonces))
+
+let suites =
+  [
+    ( "crypto.sha256",
+      [
+        Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "million a" `Slow test_sha256_million_a;
+        Alcotest.test_case "padding boundaries" `Quick test_sha256_length_boundaries;
+        Alcotest.test_case "digest_list unambiguous" `Quick test_digest_list_unambiguous;
+      ] );
+    ("crypto.hmac", [ Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231 ]);
+    ( "crypto.pki",
+      [
+        Alcotest.test_case "sign/verify" `Quick test_pki_sign_verify;
+        Alcotest.test_case "unknown key" `Quick test_pki_unknown_key;
+        Alcotest.test_case "certificates" `Quick test_pki_certificates;
+      ] );
+    ( "crypto.signed",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_signed_roundtrip;
+        Alcotest.test_case "forgery rejected" `Quick test_signed_forgery_rejected;
+        qtest prop_signed_any_payload;
+      ] );
+    ("crypto.nonce", [ Alcotest.test_case "uniqueness" `Quick test_nonce_uniqueness ]);
+  ]

@@ -1,0 +1,217 @@
+(* Smoke and invariant tests over the experiment drivers, at tiny scale. *)
+
+module E = Concilium_experiments
+module World = Concilium_core.World
+module Prng = Concilium_util.Prng
+
+let check = Alcotest.check
+
+let world_fixture = lazy (World.build (World.tiny_config ~seed:77L))
+
+let test_fig1_model_tracks_monte_carlo () =
+  let points = E.Fig1.run ~seed:1L ~sizes:[| 256; 1024 |] ~trials:12 in
+  check Alcotest.int "two points" 2 (List.length points);
+  List.iter
+    (fun p ->
+      let gap = abs_float (p.E.Fig1.analytic_mean -. p.E.Fig1.monte_carlo_mean) in
+      check Alcotest.bool
+        (Printf.sprintf "N=%d gap %.4f small" p.E.Fig1.n gap)
+        true (gap < 0.02))
+    points
+
+let test_fig1_occupancy_grows_with_n () =
+  let points = E.Fig1.run ~seed:2L ~sizes:[| 128; 2048 |] ~trials:8 in
+  match points with
+  | [ small; large ] ->
+      check Alcotest.bool "more nodes, denser tables" true
+        (large.E.Fig1.analytic_mean > small.E.Fig1.analytic_mean)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_fig2_rates_shape () =
+  let result =
+    E.Fig2_fig3.run ~n:20_000 ~suppression:false ~gammas:[| 1.0; 1.3; 1.6 |]
+      ~colluding_fractions:[| 0.1; 0.3 |]
+  in
+  (* False negatives increase with both gamma and c. *)
+  let fn gamma_index c_index =
+    let row = List.nth result.E.Fig2_fig3.sweep gamma_index in
+    (snd (List.nth row.E.Fig2_fig3.per_c c_index)).Concilium_overlay.Density_test.false_negative
+  in
+  check Alcotest.bool "fn grows with gamma" true (fn 0 0 <= fn 2 0);
+  check Alcotest.bool "fn grows with c" true (fn 1 0 <= fn 1 1);
+  check Alcotest.int "optimal per c" 2 (List.length result.E.Fig2_fig3.optimal)
+
+let test_fig3_worse_than_fig2 () =
+  let run suppression =
+    E.Fig2_fig3.run ~n:20_000 ~suppression ~gammas:[| 1.2 |] ~colluding_fractions:[| 0.2 |]
+  in
+  let total result =
+    let o = List.hd result.E.Fig2_fig3.optimal in
+    o.E.Fig2_fig3.rates.Concilium_overlay.Density_test.false_positive
+    +. o.E.Fig2_fig3.rates.Concilium_overlay.Density_test.false_negative
+  in
+  check Alcotest.bool "suppression strictly worse" true (total (run true) > total (run false))
+
+let test_fig4_coverage_monotone () =
+  let world = Lazy.force world_fixture in
+  let rng = Prng.of_seed 3L in
+  let points = E.Fig4.run ~world ~rng ~host_sample:10 in
+  check Alcotest.bool "has points" true (List.length points > 2);
+  let coverages = List.map (fun p -> p.E.Fig4.mean_coverage) points in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && non_decreasing rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "coverage non-decreasing in trees" true (non_decreasing coverages);
+  let first = List.hd points and last = List.nth points (List.length points - 1) in
+  check Alcotest.bool "own tree covers a strict subset" true
+    (first.E.Fig4.mean_coverage < last.E.Fig4.mean_coverage);
+  check (Alcotest.float 1e-6) "all trees cover the whole forest" 1. last.E.Fig4.mean_coverage
+
+let test_fig4_vouchers_grow () =
+  let world = Lazy.force world_fixture in
+  let rng = Prng.of_seed 4L in
+  let points = E.Fig4.run ~world ~rng ~host_sample:10 in
+  let first = List.hd points and last = List.nth points (List.length points - 1) in
+  check Alcotest.bool "vouching peers increase" true
+    (last.E.Fig4.mean_vouchers > first.E.Fig4.mean_vouchers)
+
+let blame_fixture colluding_fraction =
+  let world = Lazy.force world_fixture in
+  E.Blame_world.create ~world
+    {
+      (E.Blame_world.paper_config ~colluding_fraction ~seed:9L) with
+      E.Blame_world.duration = 1800.;
+    }
+
+let test_fig5_separates_populations () =
+  let bw = blame_fixture 0. in
+  let result = E.Blame_world.run bw ~samples:1500 ~bins:10 in
+  check Alcotest.bool "faulty population present" true (result.E.Blame_world.faulty_samples > 50);
+  check Alcotest.bool "nonfaulty population present" true
+    (result.E.Blame_world.nonfaulty_samples > 50);
+  check Alcotest.bool
+    (Printf.sprintf "p_faulty %.2f >> p_good %.2f" result.E.Blame_world.p_faulty
+       result.E.Blame_world.p_good)
+    true
+    (result.E.Blame_world.p_faulty > 0.7 && result.E.Blame_world.p_good < 0.25)
+
+let test_fig5_failure_process_on_target () =
+  let bw = blame_fixture 0. in
+  let fraction = E.Blame_world.mean_bad_fraction bw in
+  check Alcotest.bool (Printf.sprintf "bad fraction %.3f near 0.05" fraction) true
+    (fraction > 0.02 && fraction < 0.09)
+
+let test_fig5_collusion_degrades () =
+  let honest = E.Blame_world.run (blame_fixture 0.) ~samples:1500 ~bins:10 in
+  let collusion = E.Blame_world.run (blame_fixture 0.2) ~samples:1500 ~bins:10 in
+  check Alcotest.bool "collusion raises false accusations" true
+    (collusion.E.Blame_world.p_good > honest.E.Blame_world.p_good);
+  check Alcotest.bool "collusion shields droppers" true
+    (collusion.E.Blame_world.p_faulty < honest.E.Blame_world.p_faulty)
+
+let test_fig5_judgments_deterministic () =
+  let bw = blame_fixture 0. in
+  let sample seed =
+    let rng = Prng.of_seed seed in
+    let rec first () =
+      match E.Blame_world.sample_judgment bw ~rng with Some j -> j | None -> first ()
+    in
+    first ()
+  in
+  let a = sample 42L and b = sample 42L in
+  check (Alcotest.float 1e-12) "same seed, same blame" a.E.Blame_world.blame
+    b.E.Blame_world.blame
+
+let test_fig6_recommends_m () =
+  let result = E.Fig6.run ~w:100 ~max_m:30 { E.Fig6.label = "h"; p_good = 0.018; p_faulty = 0.938 } in
+  check (Alcotest.option Alcotest.int) "paper honest m=6" (Some 6) result.E.Fig6.recommended_m;
+  let worse = E.Fig6.run ~w:100 ~max_m:30 { E.Fig6.label = "c"; p_good = 0.084; p_faulty = 0.713 } in
+  check (Alcotest.option Alcotest.int) "paper collusion m=16" (Some 16)
+    worse.E.Fig6.recommended_m
+
+let test_bandwidth_tables () =
+  let tables = E.Bandwidth_exp.run ~sizes:[| 1000; 100_000 |] in
+  check Alcotest.int "two tables" 2 (List.length tables);
+  check Alcotest.bool "sweep has rows" true
+    (List.length (List.nth tables 1).E.Output.rows = 2)
+
+
+let test_baselines_concilium_wins () =
+  let bw = blame_fixture 0. in
+  let result = E.Baselines.run bw ~samples:2000 in
+  match result.E.Baselines.rows with
+  | [ concilium; ron; naive ] ->
+      check Alcotest.bool "beats RON" true
+        (concilium.E.Baselines.overall_accuracy > ron.E.Baselines.overall_accuracy);
+      check Alcotest.bool "beats naive" true
+        (concilium.E.Baselines.overall_accuracy > naive.E.Baselines.overall_accuracy);
+      check (Alcotest.float 1e-9) "RON perfect on network faults" 1.
+        ron.E.Baselines.network_fault_accuracy;
+      check (Alcotest.float 1e-9) "naive perfect on node faults" 1.
+        naive.E.Baselines.node_fault_accuracy
+  | _ -> Alcotest.fail "expected three rows"
+
+let test_chord_exp_model_tracks_mc () =
+  let points = E.Chord_exp.run ~seed:5L ~sizes:[| 256; 1024 |] ~trials:8 in
+  List.iter
+    (fun p ->
+      let gap = abs_float (p.E.Chord_exp.analytic_mean -. p.E.Chord_exp.monte_carlo_mean) in
+      check Alcotest.bool (Printf.sprintf "N=%d gap %.4f" p.E.Chord_exp.n gap) true (gap < 0.02))
+    points
+
+let test_ablation_self_exclusion_matters () =
+  let world = Lazy.force world_fixture in
+  let table = E.Ablations.self_exclusion ~world ~samples:1200 ~seed:31L in
+  (* Row format: [label; innocent guilty; faulty guilty; ...]. The rule-ON
+     faulty-guilty rate must exceed rule-OFF (liars dodge blame). *)
+  match table.E.Output.rows with
+  | [ [ _; _; on_faulty; _; _ ]; [ _; _; off_faulty; _; _ ] ] ->
+      let pct s = float_of_string (String.sub s 0 (String.length s - 1)) in
+      check Alcotest.bool
+        (Printf.sprintf "rule ON %s > rule OFF %s" on_faulty off_faulty)
+        true
+        (pct on_faulty > pct off_faulty)
+  | _ -> Alcotest.fail "unexpected table shape"
+
+let suites =
+  [
+    ( "experiments.fig1",
+      [
+        Alcotest.test_case "model tracks Monte Carlo" `Quick test_fig1_model_tracks_monte_carlo;
+        Alcotest.test_case "occupancy grows with N" `Quick test_fig1_occupancy_grows_with_n;
+      ] );
+    ( "experiments.fig2_fig3",
+      [
+        Alcotest.test_case "rate shapes" `Quick test_fig2_rates_shape;
+        Alcotest.test_case "suppression worse" `Quick test_fig3_worse_than_fig2;
+      ] );
+    ( "experiments.fig4",
+      [
+        Alcotest.test_case "coverage monotone to 100%" `Quick test_fig4_coverage_monotone;
+        Alcotest.test_case "vouchers grow" `Quick test_fig4_vouchers_grow;
+      ] );
+    ( "experiments.fig5",
+      [
+        Alcotest.test_case "separates faulty from non-faulty" `Slow
+          test_fig5_separates_populations;
+        Alcotest.test_case "failure process on target" `Quick
+          test_fig5_failure_process_on_target;
+        Alcotest.test_case "collusion degrades verdicts" `Slow test_fig5_collusion_degrades;
+        Alcotest.test_case "judgments deterministic" `Quick test_fig5_judgments_deterministic;
+      ] );
+    ( "experiments.fig6",
+      [ Alcotest.test_case "recommends the paper's m" `Quick test_fig6_recommends_m ] );
+    ( "experiments.baselines",
+      [ Alcotest.test_case "Concilium beats both priors" `Slow test_baselines_concilium_wins ]
+    );
+    ( "experiments.chord",
+      [ Alcotest.test_case "model tracks Monte Carlo" `Quick test_chord_exp_model_tracks_mc ] );
+    ( "experiments.ablations",
+      [
+        Alcotest.test_case "self-exclusion rule matters" `Slow
+          test_ablation_self_exclusion_matters;
+      ] );
+    ( "experiments.bandwidth",
+      [ Alcotest.test_case "tables render" `Quick test_bandwidth_tables ] );
+  ]

@@ -1,0 +1,310 @@
+module Engine = Concilium_netsim.Engine
+module Link_state = Concilium_netsim.Link_state
+module Link_history = Concilium_netsim.Link_history
+module Failures = Concilium_netsim.Failures
+module Net = Concilium_netsim.Net
+module Graph = Concilium_topology.Graph
+module Generate = Concilium_topology.Generate
+module Routes = Concilium_topology.Routes
+module Prng = Concilium_util.Prng
+
+let check = Alcotest.check
+
+(* ---------- Engine ---------- *)
+
+let test_engine_time_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at engine ~time:3. (fun _ -> log := 3 :: !log);
+  Engine.schedule_at engine ~time:1. (fun _ -> log := 1 :: !log);
+  Engine.schedule_at engine ~time:2. (fun _ -> log := 2 :: !log);
+  Engine.run engine;
+  check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock at last event" 3. (Engine.now engine)
+
+let test_engine_fifo_same_time () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule_at engine ~time:1. (fun _ -> log := i :: !log)
+  done;
+  Engine.run engine;
+  check (Alcotest.list Alcotest.int) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_run_until () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule_at engine ~time:1. (fun _ -> incr fired);
+  Engine.schedule_at engine ~time:5. (fun _ -> incr fired);
+  Engine.run_until engine 2.;
+  check Alcotest.int "only early event" 1 !fired;
+  check (Alcotest.float 1e-9) "clock at horizon" 2. (Engine.now engine);
+  check Alcotest.int "late event queued" 1 (Engine.pending engine);
+  Engine.run_until engine 10.;
+  check Alcotest.int "late event fired" 2 !fired
+
+let test_engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule_at engine ~time:1. (fun engine ->
+      log := "outer" :: !log;
+      Engine.schedule engine ~delay:0.5 (fun _ -> log := "inner" :: !log));
+  Engine.run engine;
+  check (Alcotest.list Alcotest.string) "nested" [ "outer"; "inner" ] (List.rev !log)
+
+let test_engine_rejects_past () =
+  let engine = Engine.create ~start:10. () in
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time is in the past")
+    (fun () -> Engine.schedule_at engine ~time:5. (fun _ -> ()))
+
+(* ---------- Link_state ---------- *)
+
+let test_link_state_transitions () =
+  let s = Link_state.create ~link_count:4 ~good_loss:0.01 ~bad_loss:0.9 in
+  check Alcotest.int "initially good" 0 (Link_state.bad_count s);
+  Link_state.set_bad s 2;
+  Link_state.set_bad s 2;
+  check Alcotest.int "idempotent set_bad" 1 (Link_state.bad_count s);
+  check (Alcotest.float 1e-9) "bad loss" 0.9 (Link_state.loss_rate s 2);
+  check (Alcotest.float 1e-9) "good loss" 0.01 (Link_state.loss_rate s 0);
+  check Alcotest.bool "path check" false (Link_state.path_is_good s [| 0; 2 |]);
+  Link_state.set_good s 2;
+  check Alcotest.int "repaired" 0 (Link_state.bad_count s);
+  check Alcotest.bool "path good" true (Link_state.path_is_good s [| 0; 2 |])
+
+(* ---------- Link_history ---------- *)
+
+let test_history_queries () =
+  let h = Link_history.create ~link_count:3 in
+  Link_history.add_interval h ~link:1 ~start:10. ~finish:20.;
+  Link_history.add_interval h ~link:1 ~start:15. ~finish:30.;
+  check Alcotest.bool "inside" true (Link_history.is_bad_at h ~link:1 ~time:12.);
+  check Alcotest.bool "overlap region" true (Link_history.is_bad_at h ~link:1 ~time:25.);
+  check Alcotest.bool "before" false (Link_history.is_bad_at h ~link:1 ~time:9.9);
+  check Alcotest.bool "after (half-open)" false (Link_history.is_bad_at h ~link:1 ~time:30.);
+  check Alcotest.bool "other link" false (Link_history.is_bad_at h ~link:0 ~time:12.);
+  check (Alcotest.float 1e-9) "merged bad time" 20. (Link_history.total_bad_time h ~link:1 ~horizon:100.);
+  check (Alcotest.float 1e-9) "clipped" 5. (Link_history.total_bad_time h ~link:1 ~horizon:15.);
+  check (Alcotest.list Alcotest.int) "bad at 12" [ 1 ] (Link_history.bad_links_at h ~time:12.);
+  check (Alcotest.float 1e-9) "fraction" 0.5
+    (Link_history.bad_fraction_at h ~time:12. ~relevant:[| 0; 1 |])
+
+let test_history_replay () =
+  let h = Link_history.create ~link_count:2 in
+  Link_history.add_interval h ~link:0 ~start:5. ~finish:10.;
+  Link_history.add_interval h ~link:1 ~start:8. ~finish:12.;
+  let engine = Engine.create () in
+  let state = Link_state.create ~link_count:2 ~good_loss:0. ~bad_loss:1. in
+  Link_history.replay h ~engine ~state ~horizon:100.;
+  Engine.run_until engine 6.;
+  check Alcotest.bool "link 0 down at 6" true (Link_state.is_bad state 0);
+  check Alcotest.bool "link 1 up at 6" false (Link_state.is_bad state 1);
+  Engine.run_until engine 11.;
+  check Alcotest.bool "link 0 repaired" false (Link_state.is_bad state 0);
+  check Alcotest.bool "link 1 down" true (Link_state.is_bad state 1);
+  Engine.run_until engine 20.;
+  check Alcotest.int "all repaired" 0 (Link_state.bad_count state)
+
+(* ---------- Failures ---------- *)
+
+let failure_fixture seed =
+  let world = Generate.generate (Generate.tiny ~seed) in
+  let g = world.Generate.graph in
+  let hosts = Graph.end_hosts g in
+  let rng = Prng.of_seed seed in
+  let routes =
+    Array.init 40 (fun _ ->
+        let source = hosts.(Prng.int rng (Array.length hosts)) in
+        let target = hosts.(Prng.int rng (Array.length hosts)) in
+        Routes.shortest_path g ~source ~target)
+    |> Array.to_list |> List.filter_map Fun.id
+    |> List.filter (fun p -> Routes.hop_count p > 0)
+    |> Array.of_list
+  in
+  (g, routes)
+
+let test_failures_steady_state () =
+  let g, routes = failure_fixture 11L in
+  let rng = Prng.of_seed 12L in
+  let duration = 36_000. in
+  let failures =
+    Failures.generate ~rng ~config:Failures.paper_config ~link_count:(Graph.link_count g)
+      ~routes ~duration
+  in
+  let mean = Failures.mean_bad_fraction failures ~duration ~samples:100 in
+  check Alcotest.bool
+    (Printf.sprintf "mean bad fraction %.3f within [0.02, 0.09]" mean)
+    true
+    (mean > 0.02 && mean < 0.09);
+  check Alcotest.bool "produced failures" true (failures.Failures.failure_events > 0)
+
+let test_failures_only_touch_relevant_links () =
+  let g, routes = failure_fixture 13L in
+  let rng = Prng.of_seed 14L in
+  let failures =
+    Failures.generate ~rng ~config:Failures.paper_config ~link_count:(Graph.link_count g)
+      ~routes ~duration:7200.
+  in
+  let relevant = failures.Failures.relevant_links in
+  let is_relevant link = Array.exists (( = ) link) relevant in
+  for link = 0 to Graph.link_count g - 1 do
+    if not (is_relevant link) then
+      check Alcotest.bool "irrelevant link untouched" true
+        (Link_history.intervals failures.Failures.history ~link = [])
+  done
+
+let test_failures_edge_bias () =
+  (* Beta(0.9, 0.6) puts most mass near the ends of a route. On DISJOINT
+     paths (no link sharing to confound per-link counts), the mean per-link
+     failure count at the route ends must exceed the interior's. *)
+  let chains = 12 and chain_length = 10 in
+  let b = Graph.Builder.create (chains * (chain_length + 1)) in
+  for chain = 0 to chains - 1 do
+    let base = chain * (chain_length + 1) in
+    for i = 0 to chain_length - 1 do
+      Graph.Builder.add_link b (base + i) (base + i + 1)
+    done
+  done;
+  let g = Graph.build b in
+  let routes =
+    Array.init chains (fun chain ->
+        let base = chain * (chain_length + 1) in
+        Option.get (Routes.shortest_path g ~source:base ~target:(base + chain_length)))
+  in
+  let rng = Prng.of_seed 16L in
+  let failures =
+    Failures.generate ~rng ~config:Failures.paper_config ~link_count:(Graph.link_count g)
+      ~routes ~duration:144_000.
+  in
+  let count link = List.length (Link_history.intervals failures.Failures.history ~link) in
+  let edge = ref 0 and interior = ref 0 in
+  Array.iter
+    (fun path ->
+      let links = path.Routes.links in
+      let n = Array.length links in
+      edge := !edge + count links.(0) + count links.(n - 1);
+      for i = 1 to n - 2 do
+        interior := !interior + count links.(i)
+      done)
+    routes;
+  let edge_rate = float_of_int !edge /. float_of_int (2 * chains) in
+  let interior_rate = float_of_int !interior /. float_of_int ((chain_length - 2) * chains) in
+  check Alcotest.bool
+    (Printf.sprintf "edge rate %.2f exceeds interior rate %.2f" edge_rate interior_rate)
+    true
+    (edge_rate > interior_rate)
+
+(* ---------- Net ---------- *)
+
+let test_net_delivery_and_loss () =
+  let b = Graph.Builder.create 3 in
+  Graph.Builder.add_link b 0 1;
+  Graph.Builder.add_link b 1 2;
+  let g = Graph.build b in
+  let path = Option.get (Routes.shortest_path g ~source:0 ~target:2) in
+  let engine = Engine.create () in
+  let state = Link_state.create ~link_count:2 ~good_loss:0. ~bad_loss:1. in
+  let net = Net.create ~engine ~state ~rng:(Prng.of_seed 1L) ~node_count:3 () in
+  let delivered = ref 0 and dropped_on = ref (-1) in
+  Net.send net ~path ~size_bytes:100 ~on_delivered:(fun _ -> incr delivered) ();
+  Engine.run engine;
+  check Alcotest.int "delivered" 1 !delivered;
+  check Alcotest.int "bytes sent" 100 (Net.bytes_sent net 0);
+  check Alcotest.int "bytes received" 100 (Net.bytes_received net 2);
+  (* Break the middle link: the drop callback must name it. *)
+  Link_state.set_bad state 1;
+  Net.send net ~path ~size_bytes:50
+    ~on_delivered:(fun _ -> incr delivered)
+    ~on_dropped:(fun _ ~link -> dropped_on := link)
+    ();
+  Engine.run engine;
+  check Alcotest.int "not delivered" 1 !delivered;
+  check Alcotest.int "dropped on bad link" 1 !dropped_on;
+  check Alcotest.int "receiver unchanged" 100 (Net.bytes_received net 2)
+
+
+(* ---------- Churn ---------- *)
+
+module Churn = Concilium_netsim.Churn
+
+let test_churn_steady_state () =
+  let rng = Prng.of_seed 50L in
+  let config = { Churn.mean_uptime = 1000.; mean_downtime = 1000.; initial_online_fraction = 0.5 } in
+  let churn = Churn.generate ~rng ~config ~hosts:300 ~duration:20_000. in
+  (* Symmetric on/off periods: steady state is 50% online. *)
+  let mean = Churn.mean_online_fraction churn ~duration:20_000. ~samples:40 in
+  check Alcotest.bool (Printf.sprintf "mean online %.2f near 0.5" mean) true
+    (mean > 0.4 && mean < 0.6)
+
+let test_churn_transitions_consistent () =
+  let rng = Prng.of_seed 51L in
+  let churn =
+    Churn.generate ~rng ~config:Churn.default_config ~hosts:10 ~duration:50_000.
+  in
+  for host = 0 to 9 do
+    List.iter
+      (fun (time, became_online) ->
+        (* Just after a transition the queried state matches the event. *)
+        check Alcotest.bool "state after transition" became_online
+          (Churn.is_online churn ~host ~time:(time +. 0.001)))
+      (Churn.transitions churn ~host)
+  done
+
+let test_churn_mostly_online_default () =
+  let rng = Prng.of_seed 52L in
+  let churn =
+    Churn.generate ~rng ~config:Churn.default_config ~hosts:200 ~duration:36_000.
+  in
+  let mean = Churn.mean_online_fraction churn ~duration:36_000. ~samples:30 in
+  (* 2h up / 10min down: steady state ~92% online. *)
+  check Alcotest.bool (Printf.sprintf "mean online %.2f > 0.85" mean) true (mean > 0.85)
+
+
+let prop_engine_fires_in_time_order =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"events fire in non-decreasing time order" ~count:100
+       QCheck.(small_list (float_bound_inclusive 1000.))
+       (fun times ->
+         let engine = Engine.create () in
+         let fired = ref [] in
+         List.iter
+           (fun time -> Engine.schedule_at engine ~time (fun e -> fired := Engine.now e :: !fired))
+           times;
+         Engine.run engine;
+         let fired = List.rev !fired in
+         List.length fired = List.length times
+         && List.sort compare fired = fired))
+
+let suites =
+  [
+    ( "netsim.engine",
+      [
+        Alcotest.test_case "time order" `Quick test_engine_time_order;
+        Alcotest.test_case "FIFO on ties" `Quick test_engine_fifo_same_time;
+        Alcotest.test_case "run_until" `Quick test_engine_run_until;
+        Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+        Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        prop_engine_fires_in_time_order;
+      ] );
+    ("netsim.link_state", [ Alcotest.test_case "transitions" `Quick test_link_state_transitions ]);
+    ( "netsim.link_history",
+      [
+        Alcotest.test_case "interval queries" `Quick test_history_queries;
+        Alcotest.test_case "replay onto engine" `Quick test_history_replay;
+      ] );
+    ( "netsim.failures",
+      [
+        Alcotest.test_case "steady-state fraction" `Quick test_failures_steady_state;
+        Alcotest.test_case "only relevant links fail" `Quick
+          test_failures_only_touch_relevant_links;
+        Alcotest.test_case "edge bias" `Quick test_failures_edge_bias;
+      ] );
+    ("netsim.net", [ Alcotest.test_case "delivery and loss" `Quick test_net_delivery_and_loss ]);
+    ( "netsim.churn",
+      [
+        Alcotest.test_case "steady state" `Quick test_churn_steady_state;
+        Alcotest.test_case "transition consistency" `Quick test_churn_transitions_consistent;
+        Alcotest.test_case "default config mostly online" `Quick
+          test_churn_mostly_online_default;
+      ] );
+  ]

@@ -1,0 +1,324 @@
+(* Integration tests: the full protocol stack over a tiny world. *)
+
+module World = Concilium_core.World
+module Protocol = Concilium_core.Protocol
+module Stewardship = Concilium_core.Stewardship
+module Accusation = Concilium_core.Accusation
+module Engine = Concilium_netsim.Engine
+module Link_state = Concilium_netsim.Link_state
+module Graph = Concilium_topology.Graph
+module Id = Concilium_overlay.Id
+module Signed = Concilium_crypto.Signed
+module Prng = Concilium_util.Prng
+
+let check = Alcotest.check
+
+let world_fixture = lazy (World.build (World.tiny_config ~seed:321L))
+
+type session = {
+  world : World.t;
+  engine : Engine.t;
+  link_state : Link_state.t;
+  protocol : Protocol.t;
+}
+
+let make_session ?(behavior = fun _ -> Protocol.Honest) ?(seed = 5L) () =
+  let world = Lazy.force world_fixture in
+  let engine = Engine.create () in
+  let graph = world.World.generated.World.Generate.graph in
+  let link_state =
+    Link_state.create ~link_count:(Graph.link_count graph) ~good_loss:0. ~bad_loss:1.
+  in
+  let protocol =
+    Protocol.create ~world ~engine ~link_state ~rng:(Prng.of_seed seed)
+      Protocol.default_config ~behavior
+  in
+  { world; engine; link_state; protocol }
+
+let warm_up session =
+  Protocol.start_probing session.protocol ~horizon:600.;
+  Engine.run_until session.engine 600.
+
+let route_with_intermediate session =
+  (* Find a sender and destination whose overlay route has >= 3 hops so a
+     middle forwarder exists. *)
+  let world = session.world in
+  let n = World.node_count world in
+  let rng = Prng.of_seed 17L in
+  let rec search attempts =
+    if attempts = 0 then Alcotest.fail "no multi-hop route found"
+    else begin
+      let from = Prng.int rng n in
+      let dest = Id.random rng in
+      let route = World.overlay_route world ~from ~dest in
+      if List.length route >= 3 then (from, dest, route) else search (attempts - 1)
+    end
+  in
+  search 5000
+
+let test_healthy_delivery () =
+  let session = make_session () in
+  warm_up session;
+  let from, dest, _ = route_with_intermediate session in
+  let delivered = ref false in
+  Protocol.send_message session.protocol ~from ~dest ~payload:"hello"
+    ~on_outcome:(fun outcome ->
+      delivered := outcome.Protocol.delivered;
+      check Alcotest.bool "no diagnosis when delivered" true
+        (outcome.Protocol.diagnosis = None));
+  Engine.run_until session.engine 1200.;
+  check Alcotest.bool "delivered" true !delivered
+
+let test_dropper_blamed () =
+  let world = Lazy.force world_fixture in
+  ignore world;
+  let session0 = make_session () in
+  let from, dest, route = route_with_intermediate session0 in
+  let culprit = List.nth route 1 in
+  let behavior v =
+    if v = culprit then Protocol.Message_dropper 1.0 else Protocol.Honest
+  in
+  let session = make_session ~behavior () in
+  warm_up session;
+  let outcome_seen = ref None in
+  Protocol.send_message session.protocol ~from ~dest ~payload:"x"
+    ~on_outcome:(fun outcome -> outcome_seen := Some outcome);
+  Engine.run_until session.engine 1200.;
+  match !outcome_seen with
+  | None -> Alcotest.fail "no outcome"
+  | Some outcome ->
+      check Alcotest.bool "not delivered" false outcome.Protocol.delivered;
+      check Alcotest.bool "ground truth is the dropper" true
+        (outcome.Protocol.drop = Some (Protocol.Dropped_by_overlay culprit));
+      (match outcome.Protocol.diagnosis with
+      | Some { Stewardship.final = Some (Stewardship.Next_hop blamed); _ } ->
+          check Alcotest.int "dropper blamed" culprit blamed
+      | _ -> Alcotest.fail "expected a node-level diagnosis")
+
+let test_bad_link_blames_network () =
+  let session0 = make_session () in
+  let from, dest, route = route_with_intermediate session0 in
+  let hop1 = List.nth route 1 and hop2 = List.nth route 2 in
+  let session = make_session () in
+  (* Fail every link of the hop1 -> hop2 IP path for the whole run, well
+     before probing starts, so tomography sees it consistently down. *)
+  let path = Option.get (World.ip_path session.world ~from_node:hop1 ~to_node:hop2) in
+  Array.iter (fun link -> Link_state.set_bad session.link_state link) path.World.Routes.links;
+  warm_up session;
+  let outcome_seen = ref None in
+  Protocol.send_message session.protocol ~from ~dest ~payload:"x"
+    ~on_outcome:(fun outcome -> outcome_seen := Some outcome);
+  Engine.run_until session.engine 1200.;
+  match !outcome_seen with
+  | None -> Alcotest.fail "no outcome"
+  | Some outcome ->
+      check Alcotest.bool "not delivered" false outcome.Protocol.delivered;
+      (match outcome.Protocol.diagnosis with
+      | Some { Stewardship.final = Some Stewardship.Network; _ } -> ()
+      | Some { Stewardship.final = Some (Stewardship.Next_hop blamed); _ } ->
+          Alcotest.failf "blamed node %d instead of the network" blamed
+      | _ -> Alcotest.fail "expected a diagnosis")
+
+let test_repeated_drops_trigger_accusation () =
+  let session0 = make_session () in
+  let from, dest, route = route_with_intermediate session0 in
+  let culprit = List.nth route 1 in
+  let behavior v =
+    if v = culprit then Protocol.Message_dropper 1.0 else Protocol.Honest
+  in
+  let session = make_session ~behavior () in
+  Protocol.start_probing session.protocol ~horizon:4000.;
+  Engine.run_until session.engine 600.;
+  (* The judge (previous hop) needs accusation_m guilty verdicts. *)
+  let judge = List.hd route in
+  for i = 1 to 8 do
+    Engine.schedule_at session.engine
+      ~time:(600. +. (200. *. float_of_int i))
+      (fun _ ->
+        Protocol.send_message session.protocol ~from ~dest ~payload:"x"
+          ~on_outcome:(fun _ -> ()))
+  done;
+  Engine.run_until session.engine 4000.;
+  check Alcotest.bool "guilty verdicts accumulated" true
+    (Protocol.guilty_count session.protocol ~judge ~suspect:culprit >= 6);
+  let accusations = Protocol.fetch_accusations session.protocol ~from:judge ~accused:culprit in
+  check Alcotest.bool "formal accusation in DHT" true (List.length accusations >= 1);
+  List.iter
+    (fun accusation ->
+      check Alcotest.bool "self-verifying" true
+        (Accusation.verify session.world.World.pki accusation = Ok ());
+      check Alcotest.string "names the culprit"
+        (Id.to_hex (World.id_of session.world culprit))
+        (Id.to_hex (Signed.payload accusation).Accusation.accused))
+    accusations
+
+let test_commitment_refuser_flagged () =
+  (* A Section 3.6 adversary: receives the message, issues no commitment,
+     and drops it. Concilium cannot prove culpability, but it flags the
+     hop for the complementary reputation system. *)
+  let session0 = make_session () in
+  let from, dest, route = route_with_intermediate session0 in
+  let refuser = List.nth route 1 in
+  let behavior v = if v = refuser then Protocol.Silent_dropper else Protocol.Honest in
+  let session = make_session ~behavior () in
+  warm_up session;
+  let outcome_seen = ref None in
+  Protocol.send_message session.protocol ~from ~dest ~payload:"x"
+    ~on_outcome:(fun outcome -> outcome_seen := Some outcome);
+  Engine.run_until session.engine 1200.;
+  match !outcome_seen with
+  | None -> Alcotest.fail "no outcome"
+  | Some outcome ->
+      check Alcotest.bool "not delivered" false outcome.Protocol.delivered;
+      check (Alcotest.option Alcotest.int) "refuser flagged for the reputation system"
+        (Some refuser) outcome.Protocol.no_commitment_from;
+      (* Without a commitment no formal accusation may name the refuser. *)
+      check Alcotest.int "no accusation possible" 0
+        (List.length
+           (Protocol.fetch_accusations session.protocol ~from:(List.hd route)
+              ~accused:refuser))
+
+
+let test_churned_hop_flagged_not_accused () =
+  (* The middle hop is offline for the whole run: it issues no commitment,
+     so Concilium cannot formally accuse it -- exactly the Section 3.6
+     boundary -- but the sender learns which hop to distrust. *)
+  let session0 = make_session () in
+  let from, dest, route = route_with_intermediate session0 in
+  let offline = List.nth route 1 in
+  let world = Lazy.force world_fixture in
+  let engine = Engine.create () in
+  let graph = world.World.generated.World.Generate.graph in
+  let link_state =
+    Link_state.create ~link_count:(Graph.link_count graph) ~good_loss:0. ~bad_loss:1.
+  in
+  let availability ~time:_ v = v <> offline in
+  let protocol =
+    Protocol.create ~world ~engine ~link_state ~rng:(Prng.of_seed 5L) ~availability
+      Protocol.default_config
+      ~behavior:(fun _ -> Protocol.Honest)
+  in
+  Protocol.start_probing protocol ~horizon:600.;
+  Engine.run_until engine 600.;
+  let outcome_seen = ref None in
+  Protocol.send_message protocol ~from ~dest ~payload:"x"
+    ~on_outcome:(fun outcome -> outcome_seen := Some outcome);
+  Engine.run_until engine 1200.;
+  match !outcome_seen with
+  | None -> Alcotest.fail "no outcome"
+  | Some outcome ->
+      check Alcotest.bool "not delivered" false outcome.Protocol.delivered;
+      check Alcotest.bool "ground truth: hop offline" true
+        (outcome.Protocol.drop = Some (Protocol.Hop_offline offline));
+      check (Alcotest.option Alcotest.int) "flagged without commitment" (Some offline)
+        outcome.Protocol.no_commitment_from
+
+
+let test_control_bandwidth_accounted () =
+  let session = make_session () in
+  check Alcotest.int "no traffic before probing" 0
+    (Protocol.control_bytes_sent session.protocol 0);
+  warm_up session;
+  check Alcotest.bool "probing consumed bandwidth" true
+    (Protocol.control_bytes_sent session.protocol 0 > 0);
+  let rate = Protocol.mean_control_bytes_per_second session.protocol ~horizon:600. in
+  (* Lightweight probing + diffs should stay modest: well under the cost of
+     re-advertising a full table each minute. *)
+  check Alcotest.bool (Printf.sprintf "mean control rate %.0f B/s sane" rate) true
+    (rate > 0. && rate < 100_000.)
+
+let test_heavyweight_burst_improves_evidence () =
+  (* With lightweight probing disabled-ish (very slow), the heavyweight
+     burst triggered by the drop is the only source of evidence -- the
+     diagnosis must still exonerate the forwarder when its egress path is
+     genuinely dead. *)
+  let session0 = make_session () in
+  let from, dest, route = route_with_intermediate session0 in
+  let hop1 = List.nth route 1 and hop2 = List.nth route 2 in
+  let world = Lazy.force world_fixture in
+  let engine = Engine.create () in
+  let graph = world.World.generated.World.Generate.graph in
+  let link_state =
+    Link_state.create ~link_count:(Graph.link_count graph) ~good_loss:0. ~bad_loss:1.
+  in
+  let protocol =
+    Protocol.create ~world ~engine ~link_state ~rng:(Prng.of_seed 5L)
+      { Protocol.default_config with Protocol.max_probe_time = 100_000. }
+      ~behavior:(fun _ -> Protocol.Honest)
+  in
+  let path = Option.get (World.ip_path world ~from_node:hop1 ~to_node:hop2) in
+  Array.iter (fun link -> Link_state.set_bad link_state link) path.World.Routes.links;
+  let outcome_seen = ref None in
+  Protocol.send_message protocol ~from ~dest ~payload:"x"
+    ~on_outcome:(fun outcome -> outcome_seen := Some outcome);
+  Engine.run_until engine 600.;
+  match !outcome_seen with
+  | None -> Alcotest.fail "no outcome"
+  | Some outcome -> (
+      check Alcotest.bool "not delivered" false outcome.Protocol.delivered;
+      match outcome.Protocol.diagnosis with
+      | Some { Stewardship.final = Some Stewardship.Network; _ } -> ()
+      | Some { Stewardship.final = Some (Stewardship.Next_hop blamed); _ } ->
+          Alcotest.failf "blamed node %d despite heavyweight evidence" blamed
+      | _ -> Alcotest.fail "expected a diagnosis")
+
+
+let test_sparse_advertiser_caught () =
+  (* Section 3.1 in the runtime: an attacker advertising half its routing
+     state is flagged by its peers' density tests; honest advertisements
+     pass. *)
+  let session0 = make_session () in
+  let _, _, route = route_with_intermediate session0 in
+  let attacker = List.nth route 1 in
+  let behavior v =
+    if v = attacker then Protocol.Sparse_advertiser 0.35 else Protocol.Honest
+  in
+  let session = make_session ~behavior () in
+  let reports = Protocol.exchange_advertisements session.protocol in
+  let flagged =
+    List.sort_uniq compare
+      (List.map (fun r -> r.Protocol.advertiser) reports)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "attacker %d among flagged %s" attacker
+       (String.concat "," (List.map string_of_int flagged)))
+    true (List.mem attacker flagged);
+  (* The density tests have false positives by design, but the attacker
+     must be flagged by (nearly) every validating peer, unlike honest
+     nodes. *)
+  let flags_for v =
+    List.length (List.filter (fun r -> r.Protocol.advertiser = v) reports)
+  in
+  let honest_max =
+    List.fold_left
+      (fun acc v -> if v = attacker then acc else max acc (flags_for v))
+      0
+      (List.init (World.node_count session.world) Fun.id)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "attacker flagged %d times > any honest node (%d)" (flags_for attacker)
+       honest_max)
+    true
+    (flags_for attacker > honest_max)
+
+let suites =
+  [
+    ( "protocol.integration",
+      [
+        Alcotest.test_case "healthy delivery" `Quick test_healthy_delivery;
+        Alcotest.test_case "dropper identified by stewardship" `Quick test_dropper_blamed;
+        Alcotest.test_case "bad IP link exonerates the forwarder" `Quick
+          test_bad_link_blames_network;
+        Alcotest.test_case "repeated drops escalate to a DHT accusation" `Quick
+          test_repeated_drops_trigger_accusation;
+        Alcotest.test_case "commitment refuser flagged" `Quick test_commitment_refuser_flagged;
+        Alcotest.test_case "churned-out hop flagged, not accused" `Quick
+          test_churned_hop_flagged_not_accused;
+        Alcotest.test_case "control bandwidth accounted" `Quick
+          test_control_bandwidth_accounted;
+        Alcotest.test_case "heavyweight burst carries the diagnosis" `Quick
+          test_heavyweight_burst_improves_evidence;
+        Alcotest.test_case "sparse advertiser caught by density tests" `Quick
+          test_sparse_advertiser_caught;
+      ] );
+  ]

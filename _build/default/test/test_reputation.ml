@@ -1,0 +1,64 @@
+module Votes = Concilium_reputation.Votes
+
+let check = Alcotest.check
+
+let vote voter subject confident = { Votes.voter; subject; confident; time = 0. }
+
+let test_correlation () =
+  let t = Votes.create () in
+  (* Voters 1 and 2 agree on subjects 10, 11; disagree on 12. *)
+  List.iter (Votes.cast t)
+    [
+      vote 1 10 true; vote 2 10 true;
+      vote 1 11 false; vote 2 11 false;
+      vote 1 12 true; vote 2 12 false;
+    ];
+  check (Alcotest.float 1e-9) "2 agreements, 1 disagreement" (1. /. 3.)
+    (Votes.correlation t ~a:1 ~b:2);
+  check (Alcotest.float 1e-9) "self" 1. (Votes.correlation t ~a:1 ~b:1);
+  check (Alcotest.float 1e-9) "no overlap" 0. (Votes.correlation t ~a:1 ~b:99)
+
+let test_newest_vote_wins () =
+  let t = Votes.create () in
+  Votes.cast t (vote 1 10 true);
+  Votes.cast t (vote 1 10 false);
+  check Alcotest.int "one vote" 1 (Votes.vote_count t);
+  Votes.cast t (vote 2 10 false);
+  Votes.cast t (vote 2 11 false);
+  Votes.cast t (vote 1 11 false);
+  (* Voters 1 and 2 now agree on both subjects. *)
+  check (Alcotest.float 1e-9) "perfect agreement" 1. (Votes.correlation t ~a:1 ~b:2)
+
+let test_colluders_discount_themselves () =
+  let t = Votes.create () in
+  (* Honest voters 0..4 vote no-confidence in subject 100, confidence in
+     subjects 0..9; colluders 5..6 do the opposite. *)
+  for voter = 0 to 4 do
+    Votes.cast t (vote voter 100 false);
+    for subject = 0 to 9 do
+      Votes.cast t (vote voter subject true)
+    done
+  done;
+  for voter = 5 to 6 do
+    Votes.cast t (vote voter 100 true);
+    for subject = 0 to 9 do
+      Votes.cast t (vote voter subject false)
+    done
+  done;
+  (* From honest voter 0's perspective, subject 100 scores badly: the
+     colluders' supporting votes carry negative correlation weight. *)
+  let score = Votes.score t ~observer:0 ~subject:100 in
+  check Alcotest.bool (Printf.sprintf "score %.2f below -0.5" score) true (score < -0.5);
+  check (Alcotest.list Alcotest.int) "flagged as poor" [ 100 ]
+    (Votes.poor_peers t ~observer:0 ~threshold:(-0.3))
+
+let suites =
+  [
+    ( "reputation.votes",
+      [
+        Alcotest.test_case "correlation" `Quick test_correlation;
+        Alcotest.test_case "newest vote wins" `Quick test_newest_vote_wins;
+        Alcotest.test_case "colluders discount themselves" `Quick
+          test_colluders_discount_themselves;
+      ] );
+  ]

@@ -1,0 +1,331 @@
+module Prng = Concilium_util.Prng
+module Heap = Concilium_util.Heap
+module Bitset = Concilium_util.Bitset
+module Fenwick = Concilium_util.Fenwick
+module Sorted = Concilium_util.Sorted
+module Ring_buffer = Concilium_util.Ring_buffer
+module Hashing = Concilium_util.Hashing
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- Prng ---------- *)
+
+let test_prng_determinism () =
+  let a = Prng.of_seed 42L and b = Prng.of_seed 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.int64 a) (Prng.int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.of_seed 1L and b = Prng.of_seed 2L in
+  let distinct = ref false in
+  for _ = 1 to 8 do
+    if not (Int64.equal (Prng.int64 a) (Prng.int64 b)) then distinct := true
+  done;
+  check Alcotest.bool "streams differ" true !distinct
+
+let test_prng_split_independent () =
+  let parent = Prng.of_seed 7L in
+  let child = Prng.split parent in
+  let child_values = List.init 16 (fun _ -> Prng.int64 child) in
+  let parent_values = List.init 16 (fun _ -> Prng.int64 parent) in
+  check Alcotest.bool "no overlap" true (child_values <> parent_values)
+
+let test_prng_int_bounds () =
+  let rng = Prng.of_seed 3L in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 7)
+  done
+
+let test_prng_int_rejects_nonpositive () =
+  let rng = Prng.of_seed 3L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_uniform_range () =
+  let rng = Prng.of_seed 4L in
+  for _ = 1 to 1000 do
+    let u = Prng.uniform rng in
+    check Alcotest.bool "in [0,1)" true (u >= 0. && u < 1.)
+  done
+
+let test_prng_uniform_mean () =
+  let rng = Prng.of_seed 5L in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Prng.uniform rng
+  done;
+  let mean = !total /. float_of_int n in
+  check (Alcotest.float 0.01) "mean near 1/2" 0.5 mean
+
+let test_prng_gaussian_moments () =
+  let rng = Prng.of_seed 6L in
+  let n = 50_000 in
+  let sum = ref 0. and sum_sq = ref 0. in
+  for _ = 1 to n do
+    let x = Prng.gaussian rng ~mu:3. ~sigma:2. in
+    sum := !sum +. x;
+    sum_sq := !sum_sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let variance = (!sum_sq /. float_of_int n) -. (mean *. mean) in
+  check (Alcotest.float 0.05) "mean" 3. mean;
+  check (Alcotest.float 0.15) "variance" 4. variance
+
+let test_prng_exponential_mean () =
+  let rng = Prng.of_seed 8L in
+  let n = 50_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Prng.exponential rng ~rate:0.5
+  done;
+  check (Alcotest.float 0.05) "mean 1/rate" 2. (!total /. float_of_int n)
+
+let test_sample_without_replacement () =
+  let rng = Prng.of_seed 9L in
+  let sample = Prng.sample_without_replacement rng 50 100 in
+  check Alcotest.int "size" 50 (Array.length sample);
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun x ->
+      check Alcotest.bool "in range" true (x >= 0 && x < 100);
+      check Alcotest.bool "distinct" false (Hashtbl.mem seen x);
+      Hashtbl.replace seen x ())
+    sample
+
+let test_sample_full_population () =
+  let rng = Prng.of_seed 10L in
+  let sample = Prng.sample_without_replacement rng 10 10 in
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 10 Fun.id) sorted
+
+let prop_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, list) ->
+      let rng = Prng.of_seed (Int64.of_int seed) in
+      let array = Array.of_list list in
+      Prng.shuffle rng array;
+      List.sort compare (Array.to_list array) = List.sort compare list)
+
+(* ---------- Heap ---------- *)
+
+module Int_heap = Heap.Make (Int)
+
+let test_heap_basic () =
+  let h = Int_heap.create () in
+  check Alcotest.bool "empty" true (Int_heap.is_empty h);
+  List.iter (Int_heap.add h) [ 5; 1; 4; 2; 3 ];
+  check Alcotest.int "length" 5 (Int_heap.length h);
+  check (Alcotest.option Alcotest.int) "peek" (Some 1) (Int_heap.peek_min h);
+  check (Alcotest.list Alcotest.int) "sorted drain" [ 1; 2; 3; 4; 5 ] (Int_heap.to_sorted_list h);
+  check Alcotest.int "non-destructive" 5 (Int_heap.length h)
+
+let test_heap_pop_empty () =
+  let h = Int_heap.create () in
+  check (Alcotest.option Alcotest.int) "pop empty" None (Int_heap.pop_min h);
+  Alcotest.check_raises "pop_min_exn" (Invalid_argument "Heap.pop_min_exn: empty heap")
+    (fun () -> ignore (Int_heap.pop_min_exn h))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:300
+    QCheck.(list int)
+    (fun list ->
+      let h = Int_heap.create () in
+      List.iter (Int_heap.add h) list;
+      let drained = ref [] in
+      let rec drain () =
+        match Int_heap.pop_min h with
+        | Some x ->
+            drained := x :: !drained;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      List.rev !drained = List.sort compare list)
+
+(* ---------- Bitset ---------- *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  check Alcotest.bool "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 99;
+  check Alcotest.int "cardinal" 3 (Bitset.cardinal s);
+  check Alcotest.bool "mem 63" true (Bitset.mem s 63);
+  check Alcotest.bool "not mem 50" false (Bitset.mem s 50);
+  Bitset.remove s 63;
+  check Alcotest.bool "removed" false (Bitset.mem s 63);
+  check (Alcotest.list Alcotest.int) "to_list" [ 0; 99 ] (Bitset.to_list s)
+
+let test_bitset_union_inter () =
+  let a = Bitset.of_list 32 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 32 [ 3; 4 ] in
+  check Alcotest.int "intersection" 1 (Bitset.inter_cardinal a b);
+  Bitset.union_into ~dst:a b;
+  check (Alcotest.list Alcotest.int) "union" [ 1; 2; 3; 4 ] (Bitset.to_list a)
+
+let test_bitset_out_of_range () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s 8)
+
+let prop_bitset_matches_list_set =
+  QCheck.Test.make ~name:"bitset agrees with list-set semantics" ~count:200
+    QCheck.(small_list (int_bound 63))
+    (fun members ->
+      let s = Bitset.of_list 64 members in
+      Bitset.to_list s = List.sort_uniq compare members
+      && Bitset.cardinal s = List.length (List.sort_uniq compare members))
+
+(* ---------- Fenwick ---------- *)
+
+let test_fenwick_prefix_sums () =
+  let t = Fenwick.create 5 in
+  List.iteri (fun i w -> Fenwick.set t i w) [ 1.; 2.; 3.; 4.; 5. ];
+  check (Alcotest.float 1e-9) "prefix 0" 1. (Fenwick.prefix_sum t 0);
+  check (Alcotest.float 1e-9) "prefix 2" 6. (Fenwick.prefix_sum t 2);
+  check (Alcotest.float 1e-9) "total" 15. (Fenwick.total t);
+  Fenwick.set t 2 0.;
+  check (Alcotest.float 1e-9) "after update" 12. (Fenwick.total t)
+
+let test_fenwick_find_by_weight () =
+  let t = Fenwick.create 4 in
+  List.iteri (fun i w -> Fenwick.set t i w) [ 1.; 0.; 2.; 1. ];
+  check Alcotest.int "x=0.5" 0 (Fenwick.find_by_weight t 0.5);
+  check Alcotest.int "x=1.5" 2 (Fenwick.find_by_weight t 1.5);
+  check Alcotest.int "x=2.9" 2 (Fenwick.find_by_weight t 2.9);
+  check Alcotest.int "x=3.5" 3 (Fenwick.find_by_weight t 3.5)
+
+let prop_fenwick_sampling_hits_positive_weights =
+  QCheck.Test.make ~name:"weighted find never lands on zero weight" ~count:200
+    QCheck.(pair (small_list (float_bound_inclusive 5.)) (float_bound_exclusive 1.))
+    (fun (weights, u) ->
+      QCheck.assume (List.exists (fun w -> w > 0.) weights);
+      let t = Fenwick.create (List.length weights) in
+      List.iteri (fun i w -> Fenwick.set t i w) weights;
+      let index = Fenwick.find_by_weight t (u *. Fenwick.total t) in
+      Fenwick.get t index > 0.)
+
+(* ---------- Sorted ---------- *)
+
+let test_sorted_bounds () =
+  let a = [| 1; 3; 3; 5; 9 |] in
+  check Alcotest.int "lower 3" 1 (Sorted.lower_bound compare a 3);
+  check Alcotest.int "upper 3" 3 (Sorted.upper_bound compare a 3);
+  check Alcotest.int "lower 0" 0 (Sorted.lower_bound compare a 0);
+  check Alcotest.int "lower 10" 5 (Sorted.lower_bound compare a 10);
+  check Alcotest.bool "mem 5" true (Sorted.mem compare a 5);
+  check Alcotest.bool "mem 4" false (Sorted.mem compare a 4);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "range" (1, 3) (Sorted.equal_range compare a 3)
+
+let prop_sorted_bounds_bracket =
+  QCheck.Test.make ~name:"lower/upper bound bracket all equal elements" ~count:200
+    QCheck.(pair (small_list (int_bound 20)) (int_bound 20))
+    (fun (list, x) ->
+      let a = Array.of_list (List.sort compare list) in
+      let lo = Sorted.lower_bound compare a x and hi = Sorted.upper_bound compare a x in
+      lo <= hi
+      && Array.for_all (fun y -> y = x) (Array.sub a lo (hi - lo))
+      && (lo = 0 || a.(lo - 1) < x)
+      && (hi = Array.length a || a.(hi) > x))
+
+(* ---------- Ring_buffer ---------- *)
+
+let test_ring_buffer_eviction () =
+  let r = Ring_buffer.create 3 in
+  check (Alcotest.option Alcotest.int) "push 1" None (Ring_buffer.push r 1);
+  check (Alcotest.option Alcotest.int) "push 2" None (Ring_buffer.push r 2);
+  check (Alcotest.option Alcotest.int) "push 3" None (Ring_buffer.push r 3);
+  check Alcotest.bool "full" true (Ring_buffer.is_full r);
+  check (Alcotest.option Alcotest.int) "evicts oldest" (Some 1) (Ring_buffer.push r 4);
+  check (Alcotest.list Alcotest.int) "window" [ 2; 3; 4 ] (Ring_buffer.to_list r);
+  check Alcotest.int "count even" 2 (Ring_buffer.count (fun x -> x mod 2 = 0) r)
+
+let test_ring_buffer_clear () =
+  let r = Ring_buffer.create 2 in
+  ignore (Ring_buffer.push r 1);
+  Ring_buffer.clear r;
+  check Alcotest.int "cleared" 0 (Ring_buffer.length r)
+
+let prop_ring_buffer_keeps_newest =
+  QCheck.Test.make ~name:"ring buffer holds the w newest elements" ~count:200
+    QCheck.(pair (int_range 1 10) (small_list int))
+    (fun (capacity, pushes) ->
+      let r = Ring_buffer.create capacity in
+      List.iter (fun x -> ignore (Ring_buffer.push r x)) pushes;
+      let n = List.length pushes in
+      let expected = List.filteri (fun i _ -> i >= n - capacity) pushes in
+      Ring_buffer.to_list r = expected)
+
+(* ---------- Hashing ---------- *)
+
+let test_fnv_known_values () =
+  (* FNV-1a 64-bit reference values. *)
+  check Alcotest.int64 "empty" 0xCBF29CE484222325L (Hashing.fnv1a "");
+  check Alcotest.int64 "'a'" 0xAF63DC4C8601EC8CL (Hashing.fnv1a "a")
+
+let test_fnv_int_distinct () =
+  let h1 = Hashing.fnv1a_int Hashing.offset 1L in
+  let h2 = Hashing.fnv1a_int Hashing.offset 2L in
+  check Alcotest.bool "distinct" true (not (Int64.equal h1 h2));
+  check Alcotest.bool "positive int" true (Hashing.to_positive_int h1 >= 0)
+
+let suites =
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+        Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+        Alcotest.test_case "int rejects non-positive" `Quick test_prng_int_rejects_nonpositive;
+        Alcotest.test_case "uniform range" `Quick test_prng_uniform_range;
+        Alcotest.test_case "uniform mean" `Quick test_prng_uniform_mean;
+        Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+        Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+        Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+        Alcotest.test_case "sample full population" `Quick test_sample_full_population;
+        qtest prop_shuffle_is_permutation;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "basic operations" `Quick test_heap_basic;
+        Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+        qtest prop_heap_sorts;
+      ] );
+    ( "util.bitset",
+      [
+        Alcotest.test_case "basic operations" `Quick test_bitset_basic;
+        Alcotest.test_case "union and intersection" `Quick test_bitset_union_inter;
+        Alcotest.test_case "bounds checking" `Quick test_bitset_out_of_range;
+        qtest prop_bitset_matches_list_set;
+      ] );
+    ( "util.fenwick",
+      [
+        Alcotest.test_case "prefix sums" `Quick test_fenwick_prefix_sums;
+        Alcotest.test_case "find by weight" `Quick test_fenwick_find_by_weight;
+        qtest prop_fenwick_sampling_hits_positive_weights;
+      ] );
+    ( "util.sorted",
+      [
+        Alcotest.test_case "bounds" `Quick test_sorted_bounds;
+        qtest prop_sorted_bounds_bracket;
+      ] );
+    ( "util.ring_buffer",
+      [
+        Alcotest.test_case "eviction" `Quick test_ring_buffer_eviction;
+        Alcotest.test_case "clear" `Quick test_ring_buffer_clear;
+        qtest prop_ring_buffer_keeps_newest;
+      ] );
+    ( "util.hashing",
+      [
+        Alcotest.test_case "fnv known values" `Quick test_fnv_known_values;
+        Alcotest.test_case "fnv int folding" `Quick test_fnv_int_distinct;
+      ] );
+  ]
