@@ -139,7 +139,11 @@ let run_experiment name scale seed tsv =
     end
     else None
   in
-  let world () = Option.get world in
+  let world () =
+    match world with
+    | Some w -> w
+    | None -> failwith ("experiment '" ^ name ^ "' needs a world but none was built")
+  in
   match name with
   | "fig1" -> run_fig1 ~scale ~seed
   | "fig2" -> run_fig2 ()

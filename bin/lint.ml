@@ -1,0 +1,47 @@
+(* concilium-lint: the determinism & partiality static-analysis gate.
+   Exits 0 when the scanned tree is clean, 1 when any error-severity
+   diagnostic is found, and prints file:line diagnostics either as text or
+   as a JSON array. *)
+
+module Engine = Concilium_lint.Engine
+module Report = Concilium_lint.Report
+
+open Cmdliner
+
+let paths =
+  let doc = "Directories or files to scan (typically: lib bin test)." in
+  Arg.(value & pos_all string [ "lib"; "bin"; "test" ] & info [] ~docv:"PATH" ~doc)
+
+let format =
+  let doc = "Output format: $(b,text) or $(b,json)." in
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text & info [ "format" ] ~doc)
+
+let list_rules =
+  let doc = "List every rule with its family and description, then exit." in
+  Arg.(value & flag & info [ "list-rules" ] ~doc)
+
+let run paths format list_rules =
+  if list_rules then begin
+    Report.print_catalog stdout;
+    0
+  end
+  else begin
+    let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+    match missing with
+    | path :: _ ->
+        Printf.eprintf "lint: no such path: %s\n" path;
+        2
+    | [] ->
+        let diagnostics = Engine.lint_paths paths in
+        (match format with
+        | `Text -> Report.print_text stdout diagnostics
+        | `Json -> Report.print_json stdout diagnostics);
+        if Engine.errors diagnostics = [] then 0 else 1
+  end
+
+let cmd =
+  let doc = "static determinism/partiality lint for the Concilium tree" in
+  let info = Cmd.info "concilium-lint" ~doc in
+  Cmd.v info Term.(const run $ paths $ format $ list_rules)
+
+let () = exit (Cmd.eval' cmd)

@@ -71,10 +71,14 @@ let get t ~from ~accused_key ~hops =
   | [] -> []
   | replica :: _ ->
       hops := !hops + route_hops t ~from ~target:replica;
+      (* The store is keyed by idempotence record; sort on it so callers see
+         accusations in a hash-seed-independent order. *)
       Hashtbl.fold
-        (fun _ (stored_key, accusation) acc ->
-          if Id.equal stored_key key then accusation :: acc else acc)
+        (fun record (stored_key, accusation) acc ->
+          if Id.equal stored_key key then (record, accusation) :: acc else acc)
         t.stores.(replica) []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.map snd
 
 let stored_count t ~node = Hashtbl.length t.stores.(node)
 

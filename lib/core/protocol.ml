@@ -396,6 +396,8 @@ let judge_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
     let supporting =
       List.filter_map
         (fun entry ->
+          (* Identity (not structural) comparison is the point: exclude the
+             exact evidence value being filed.  lint: allow physical-equality *)
           if entry.Verdict_window.evidence == evidence then None
           else Some entry.Verdict_window.evidence)
         (Verdict_window.guilty_entries window)
@@ -436,7 +438,6 @@ let fetch_accusations t ~from ~accused =
 (* ---------- Message lifecycle ---------- *)
 
 type hop_fate = {
-  node : int;
   received : bool;
   committed : bool;  (** issued a forwarding commitment to its upstream *)
   forwarded : bool;
@@ -468,9 +469,9 @@ let send_message t ~from ~dest ~payload ~on_outcome =
   let now = Engine.now t.engine in
   (* Walk the route, recording each hop's fate. *)
   let fates =
-    Array.map (fun node -> { node; received = false; committed = false; forwarded = false }) hops
+    Array.map (fun _ -> { received = false; committed = false; forwarded = false }) hops
   in
-  fates.(0) <- { (fates.(0)) with received = true; committed = true; forwarded = true };
+  fates.(0) <- { received = true; committed = true; forwarded = true };
   let drop = ref None in
   let commitments = Hashtbl.create 8 in
   let index = ref 0 in

@@ -148,7 +148,7 @@ let forest_links t v =
   add_tree v;
   Array.iter add_tree t.peers.(v);
   let out = Array.of_seq (Hashtbl.to_seq_keys seen) in
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out
 
 let vouchers t ~link =

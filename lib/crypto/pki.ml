@@ -38,6 +38,7 @@ let create ~seed =
   { rng; registry; authority_public; authority_secret }
 
 let authority_key t = t.authority_public
+let public_of_secret secret = secret.key_public
 
 let sign secret message = Hmac.sha256_hex ~key:secret.key_secret message
 

@@ -31,6 +31,9 @@ val issue : t -> address:string -> node_id:string -> certificate * secret_key
 (** Enroll a host: generate its keypair, register it, and return its
     certificate along with the secret only that host should hold. *)
 
+val public_of_secret : secret_key -> public_key
+(** The public half bound to a secret key at generation time. *)
+
 val sign : secret_key -> string -> signature
 val verify : t -> public_key -> string -> signature -> bool
 (** [verify t pk msg s] checks that [s] was produced over [msg] by the

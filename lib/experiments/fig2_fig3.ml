@@ -36,7 +36,11 @@ let run ~n ~suppression ~gammas ~colluding_fractions =
   { sweep; optimal }
 
 let tables ~figure result =
-  let fractions = List.map fst (List.hd result.sweep).per_c in
+  let fractions =
+    match result.sweep with
+    | [] -> invalid_arg "Fig2_fig3.tables: empty gamma sweep"
+    | first :: _ -> List.map fst first.per_c
+  in
   let header = "gamma" :: List.map (fun c -> Printf.sprintf "c=%.0f%%" (100. *. c)) fractions in
   let rate_table ~title ~select =
     {

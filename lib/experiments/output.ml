@@ -5,20 +5,18 @@ let cell_pct x = Printf.sprintf "%.2f%%" (100. *. x)
 let cell_i = string_of_int
 
 let print table =
-  let all = table.header :: table.rows in
   let columns = List.length table.header in
-  let width column =
-    List.fold_left
-      (fun acc row -> max acc (String.length (List.nth row column)))
-      0
-      (List.filter (fun row -> List.length row = columns) all)
-  in
-  let widths = List.init columns width in
+  let widths = Array.make (max 1 columns) 0 in
+  List.iter
+    (fun row ->
+      if List.length row = columns then
+        List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    (table.header :: table.rows);
   let render row =
     String.concat "  "
       (List.mapi
          (fun i cell ->
-           let pad = List.nth widths i - String.length cell in
+           let pad = if i < columns then widths.(i) - String.length cell else 0 in
            if i = 0 then cell ^ String.make (max 0 pad) ' '
            else String.make (max 0 pad) ' ' ^ cell)
          row)

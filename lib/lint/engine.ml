@@ -1,0 +1,191 @@
+(* Applies the rule catalog to sources and directory trees, honouring
+   suppression comments. *)
+
+(* ---------- Suppressions ---------- *)
+
+(* A comment may carry [lint: allow rule ...] (suppresses the comment's own
+   lines and the line right after it) or [lint: allow-file rule ...]
+   (suppresses the whole file). *)
+type suppression = { rules : string list; first_line : int; last_line : int; whole_file : bool }
+
+(* The [\t]s must be real tab bytes, so no quoted-string literal here.  The
+   rule-list class excludes [*] so the comment's closing delimiter is never
+   mistaken for a wildcard; the wildcard is the keyword [all]. *)
+let directive_re =
+  Str.regexp "lint:[ \t]*\\(allow-file\\|allow\\)[ \t]+\\([a-zA-Z][a-zA-Z0-9_ -]*\\)"
+
+let parse_suppressions comments =
+  List.filter_map
+    (fun (c : Lexer.comment) ->
+      match Str.search_forward directive_re c.text 0 with
+      | exception Not_found -> None
+      | _ ->
+          let kind = Str.matched_group 1 c.text in
+          let rules =
+            List.filter
+              (fun s -> s <> "")
+              (String.split_on_char ' ' (Str.matched_group 2 c.text))
+          in
+          Some
+            {
+              rules;
+              first_line = c.start_line;
+              last_line = c.end_line + 1;
+              whole_file = kind = "allow-file";
+            })
+    comments
+
+let suppressed suppressions ~rule ~line =
+  List.exists
+    (fun s ->
+      (s.whole_file || (line >= s.first_line && line <= s.last_line))
+      && (List.mem rule s.rules || List.mem "all" s.rules))
+    suppressions
+
+(* ---------- Single-file linting ---------- *)
+
+let matches pattern line =
+  match Str.search_forward pattern line 0 with exception Not_found -> false | _ -> true
+
+let lint_ml ~path source =
+  let scrubbed = Lexer.scrub source in
+  let suppressions = parse_suppressions scrubbed.Lexer.comments in
+  let out = ref [] in
+  let push d = out := d :: !out in
+  let line_count = Array.length scrubbed.Lexer.code_lines in
+  for index = 0 to line_count - 1 do
+    let line_number = index + 1 in
+    let code = scrubbed.Lexer.code_lines.(index) in
+    let raw = if index < Array.length scrubbed.Lexer.raw_lines then scrubbed.Lexer.raw_lines.(index) else "" in
+    List.iter
+      (fun (r : Rules.line_rule) ->
+        let subject = if Rules.is_raw_rule r.Rules.id then raw else code in
+        if
+          r.Rules.applies path
+          && matches r.Rules.pattern subject
+          && not (suppressed suppressions ~rule:r.Rules.id ~line:line_number)
+        then
+          push
+            {
+              Rules.file = path;
+              line = line_number;
+              rule = r.Rules.id;
+              severity = r.Rules.severity;
+              message = r.Rules.message;
+            })
+      Rules.line_rules;
+    (* Windowed determinism rule: a Hashtbl enumeration is fine only if a
+       sort appears nearby (the enumeration feeds it) or it is suppressed. *)
+    if
+      Rules.hashtbl_order_applies path
+      && matches Rules.hashtbl_order_pattern code
+      && not (suppressed suppressions ~rule:Rules.hashtbl_order_id ~line:line_number)
+    then begin
+      let lo = max 0 (index - Rules.hashtbl_order_window_before) in
+      let hi = min (line_count - 1) (index + Rules.hashtbl_order_window_after) in
+      let sorted_nearby = ref false in
+      for j = lo to hi do
+        if matches Rules.hashtbl_order_sort_pattern scrubbed.Lexer.code_lines.(j) then
+          sorted_nearby := true
+      done;
+      if not !sorted_nearby then
+        push
+          {
+            Rules.file = path;
+            line = line_number;
+            rule = Rules.hashtbl_order_id;
+            severity = Rules.Error;
+            message = Rules.hashtbl_order_message;
+          }
+    end
+  done;
+  List.rev !out
+
+let dune_stanza_re = Str.regexp {|(\(library\|executables?\|test\)\b|}
+let dune_flags_re = Str.regexp_string "-warn-error"
+
+let lint_dune ~path content =
+  (* dune files use s-expressions with ;-comments; a plain textual check is
+     enough here. *)
+  let lines = String.split_on_char '\n' content in
+  let stanza_line =
+    let rec find n = function
+      | [] -> None
+      | l :: rest -> if matches dune_stanza_re l then Some n else find (n + 1) rest
+    in
+    find 1 lines
+  in
+  match stanza_line with
+  | None -> []
+  | Some line ->
+      if matches dune_flags_re content then []
+      else
+        [
+          {
+            Rules.file = path;
+            line;
+            rule = Rules.dune_flags_id;
+            severity = Rules.Error;
+            message = Rules.dune_flags_message;
+          };
+        ]
+
+(* ---------- Tree walking ---------- *)
+
+let has_suffix suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let skip_entry name =
+  String.length name = 0 || name.[0] = '.' || name.[0] = '_'
+
+let rec collect_files path acc =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if skip_entry entry then acc else collect_files (Filename.concat path entry) acc)
+      acc entries
+  end
+  else path :: acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let missing_mli_diagnostics files =
+  (* Every .ml under lib/ needs a sibling .mli. *)
+  List.filter_map
+    (fun path ->
+      if has_suffix ".ml" path && Rules.in_lib path then begin
+        let mli = path ^ "i" in
+        if List.mem mli files || Sys.file_exists mli then None
+        else
+          Some
+            {
+              Rules.file = path;
+              line = 1;
+              rule = Rules.missing_mli_id;
+              severity = Rules.Error;
+              message = Rules.missing_mli_message;
+            }
+      end
+      else None)
+    files
+
+let lint_file path =
+  if has_suffix ".ml" path || has_suffix ".mli" path then lint_ml ~path (read_file path)
+  else if Filename.basename path = "dune" then lint_dune ~path (read_file path)
+  else []
+
+let lint_paths paths =
+  let files = List.fold_left (fun acc path -> collect_files path acc) [] paths in
+  let files = List.sort String.compare files in
+  let per_file = List.concat_map lint_file files in
+  List.sort Rules.compare_diagnostic (per_file @ missing_mli_diagnostics files)
+
+let errors diagnostics =
+  List.filter (fun (d : Rules.diagnostic) -> d.Rules.severity = Rules.Error) diagnostics

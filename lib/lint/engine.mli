@@ -1,0 +1,26 @@
+(** Applies the rule catalog to sources and directory trees.
+
+    Suppression directives are honoured anywhere in a comment:
+    - [(* lint: allow <rule> ... *)] suppresses the named rules on the
+      comment's own lines and on the line immediately after it;
+    - [(* lint: allow-file <rule> ... *)] suppresses them file-wide;
+    - the rule list may be the keyword [all] to suppress everything. *)
+
+val lint_ml : path:string -> string -> Rules.diagnostic list
+(** Lint the contents of one [.ml]/[.mli] file.  [path] is used both for
+    reporting and for path-scoped rules, so tests can pass synthetic paths
+    such as ["lib/fake.ml"]. *)
+
+val lint_dune : path:string -> string -> Rules.diagnostic list
+(** Check a dune file for the hardened-flags stanza. *)
+
+val lint_file : string -> Rules.diagnostic list
+(** Dispatch on the file name: [.ml]/[.mli], [dune], else nothing. *)
+
+val lint_paths : string list -> Rules.diagnostic list
+(** Walk directories (skipping dot- and underscore-prefixed entries),
+    lint every source and dune file, and check [.mli] coverage of [lib/]
+    modules.  Results are sorted by file, line, and rule. *)
+
+val errors : Rules.diagnostic list -> Rules.diagnostic list
+(** The subset with severity [Error]. *)

@@ -1,0 +1,47 @@
+let print_text out diagnostics =
+  List.iter
+    (fun (d : Rules.diagnostic) ->
+      Printf.fprintf out "%s:%d: %s [%s] %s\n" d.Rules.file d.Rules.line
+        (Rules.severity_to_string d.Rules.severity)
+        d.Rules.rule d.Rules.message)
+    diagnostics;
+  let errors =
+    List.length
+      (List.filter (fun (d : Rules.diagnostic) -> d.Rules.severity = Rules.Error) diagnostics)
+  in
+  let warnings = List.length diagnostics - errors in
+  if diagnostics = [] then Printf.fprintf out "lint: clean\n"
+  else Printf.fprintf out "lint: %d error(s), %d warning(s)\n" errors warnings
+
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer {|\"|}
+      | '\\' -> Buffer.add_string buffer {|\\|}
+      | '\n' -> Buffer.add_string buffer {|\n|}
+      | '\t' -> Buffer.add_string buffer {|\t|}
+      | '\r' -> Buffer.add_string buffer {|\r|}
+      | c when Char.code c < 0x20 -> Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let to_json diagnostics =
+  let item (d : Rules.diagnostic) =
+    Printf.sprintf
+      "  {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\"}"
+      (json_escape d.Rules.file) d.Rules.line (json_escape d.Rules.rule)
+      (Rules.severity_to_string d.Rules.severity)
+      (json_escape d.Rules.message)
+  in
+  "[\n" ^ String.concat ",\n" (List.map item diagnostics) ^ "\n]"
+
+let print_json out diagnostics = Printf.fprintf out "%s\n" (to_json diagnostics)
+
+let print_catalog out =
+  List.iter
+    (fun (id, family, message) ->
+      Printf.fprintf out "%-20s %-20s %s\n" id (Rules.family_to_string family) message)
+    Rules.catalog

@@ -1,0 +1,13 @@
+(** Rendering of lint diagnostics. *)
+
+val print_text : out_channel -> Rules.diagnostic list -> unit
+(** One [file:line: severity [rule] message] line per diagnostic, then a
+    summary line. *)
+
+val to_json : Rules.diagnostic list -> string
+(** A JSON array of diagnostic objects (machine-readable output). *)
+
+val print_json : out_channel -> Rules.diagnostic list -> unit
+
+val print_catalog : out_channel -> unit
+(** The rule catalog: id, family, description. *)

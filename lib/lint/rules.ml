@@ -1,0 +1,217 @@
+type severity = Error | Warning
+
+type family = Determinism | Polymorphic_compare | Partiality | Hygiene
+
+type diagnostic = {
+  file : string;
+  line : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let family_to_string = function
+  | Determinism -> "determinism"
+  | Polymorphic_compare -> "polymorphic-compare"
+  | Partiality -> "partiality"
+  | Hygiene -> "hygiene"
+
+let compare_diagnostic a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> String.compare a.rule b.rule | c -> c)
+  | c -> c
+
+(* ---------- Path scoping ---------- *)
+
+let segments path =
+  List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' path)
+
+let in_tree name path = List.mem name (segments path)
+let basename path = Filename.basename path
+
+(* The deterministic PRNG implementation is the one module allowed to talk
+   about randomness. *)
+let is_prng_module path = basename path = "prng.ml" || basename path = "prng.mli"
+
+let in_lib path = in_tree "lib" path
+let in_lib_or_bin path = in_lib path || in_tree "bin" path
+let everywhere _ = true
+
+(* ---------- Line rules ---------- *)
+
+type line_rule = {
+  id : string;
+  family : family;
+  severity : severity;
+  pattern : Str.regexp;
+  message : string;
+  applies : string -> bool;
+}
+
+let re = Str.regexp
+
+let line_rules =
+  [
+    {
+      id = "random";
+      family = Determinism;
+      severity = Error;
+      pattern = re {|\bRandom\.|};
+      message =
+        "Stdlib.Random is seed-process-global and not reproducible; use \
+         Concilium_util.Prng";
+      applies = (fun path -> not (is_prng_module path));
+    };
+    {
+      id = "wall-clock";
+      family = Determinism;
+      severity = Error;
+      pattern = re {|\b\(Sys\.time\|Unix\.gettimeofday\|Unix\.time\|Unix\.gmtime\|Unix\.localtime\)\b|};
+      message =
+        "wall-clock time breaks simulation reproducibility; use the \
+         discrete-event engine clock";
+      applies = everywhere;
+    };
+    {
+      id = "hashtbl-hash";
+      family = Determinism;
+      severity = Error;
+      pattern = re {|Hashtbl\.\(hash\b\|seeded_hash\|randomize\)\|~random:true|};
+      message =
+        "Hashtbl.hash / randomized hashtables vary across hash-seed runs; \
+         derive hashes from Concilium_util.Prng or a fixed digest";
+      applies = (fun path -> not (is_prng_module path));
+    };
+    {
+      id = "poly-compare";
+      family = Polymorphic_compare;
+      severity = Error;
+      pattern =
+        (* [\t] below must be a real tab byte, so this pattern cannot use a
+           quoted-string literal. *)
+        re
+          "\\b\\(Stdlib\\|Pervasives\\)\\.compare\\b\\|\\b\\(sort\\|stable_sort\\|sort_uniq\\|fast_sort\\)[ \t]+compare\\b\\|\\b\\(fold_left\\|fold_right\\)[ \t]+\\(min\\|max\\)\\b";
+      message =
+        "polymorphic compare/min/max in a higher-order position; use a typed \
+         comparator (Int.compare, Float.compare, String.compare, Id.compare, ...)";
+      applies = everywhere;
+    };
+    {
+      id = "physical-equality";
+      family = Polymorphic_compare;
+      severity = Error;
+      pattern = re {|==\|!=|};
+      message =
+        "physical equality (==/!=) is representation-dependent; use structural \
+         or typed equality, or suppress where identity is the point";
+      applies = in_lib_or_bin;
+    };
+    {
+      id = "list-partial";
+      family = Partiality;
+      severity = Error;
+      pattern = re {|\bList\.\(hd\|tl\|nth\)\b|};
+      message =
+        "List.hd/tl/nth raise on short lists; pattern-match or use a total \
+         accessor";
+      applies = in_lib_or_bin;
+    };
+    {
+      id = "option-get";
+      family = Partiality;
+      severity = Error;
+      pattern = re {|\bOption\.get\b|};
+      message = "Option.get raises on None; pattern-match with an explicit error";
+      applies = in_lib_or_bin;
+    };
+    {
+      id = "array-get";
+      family = Partiality;
+      severity = Error;
+      pattern = re {|\bArray\.get\b|};
+      message =
+        "explicit Array.get hides an unchecked index; bound-check or index \
+         with a.(i) next to its guard";
+      applies = in_lib_or_bin;
+    };
+    {
+      id = "obj-magic";
+      family = Partiality;
+      severity = Error;
+      pattern = re {|\bObj\.magic\b|};
+      message = "Obj.magic defeats the type system";
+      applies = everywhere;
+    };
+    {
+      id = "assert-false";
+      family = Partiality;
+      severity = Error;
+      pattern = re "\\bassert[ \t]+false\\b";
+      message =
+        "assert false marks a partial path; restructure, or suppress with a \
+         comment arguing unreachability";
+      applies = in_lib_or_bin;
+    };
+    {
+      id = "tab-indent";
+      family = Hygiene;
+      severity = Error;
+      pattern = re "\t";
+      message = "tab character; indent with spaces";
+      applies = everywhere;
+    };
+    {
+      id = "trailing-whitespace";
+      family = Hygiene;
+      severity = Error;
+      pattern = re "[ \t]+$";
+      message = "trailing whitespace";
+      applies = everywhere;
+    };
+  ]
+
+(* [tab-indent] and [trailing-whitespace] are formatting rules: they must see
+   the raw line (literals included), not the scrubbed one. *)
+let is_raw_rule id = id = "tab-indent" || id = "trailing-whitespace"
+
+(* ---------- Windowed rule: Hashtbl iteration order ---------- *)
+
+(* Hashtbl.iter/fold/to_seq enumerate in hash order, which depends on the
+   process hash seed.  A result that feeds ordered output must be sorted
+   immediately; the window below is how far away we accept the sort. *)
+let hashtbl_order_id = "hashtbl-order"
+let hashtbl_order_pattern = re {|Hashtbl\.\(iter\b\|fold\b\|to_seq\)|}
+let hashtbl_order_sort_pattern = re {|\bsort\|\bSorted\.|}
+let hashtbl_order_window_before = 2
+let hashtbl_order_window_after = 6
+
+let hashtbl_order_message =
+  "Hashtbl iteration order depends on the hash seed; sort the result within \
+   a few lines (or suppress if provably order-independent)"
+
+let hashtbl_order_applies = in_lib_or_bin
+
+(* ---------- Project-level rules ---------- *)
+
+let missing_mli_id = "missing-mli"
+
+let missing_mli_message =
+  "library module has no .mli; every lib/ module must declare its interface"
+
+let dune_flags_id = "dune-flags"
+
+let dune_flags_message =
+  "dune stanza does not set the hardened warning flags \
+   ((flags (:standard -w ... -warn-error +a)))"
+
+(* ---------- Catalog (for --list-rules and the tests) ---------- *)
+
+let catalog =
+  List.map (fun r -> (r.id, r.family, r.message)) line_rules
+  @ [
+      (hashtbl_order_id, Determinism, hashtbl_order_message);
+      (missing_mli_id, Hygiene, missing_mli_message);
+      (dune_flags_id, Hygiene, dune_flags_message);
+    ]

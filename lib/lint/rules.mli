@@ -1,0 +1,59 @@
+(** The lint rule catalog: severities, families, and the textual patterns the
+    engine applies.  See DESIGN.md, "Determinism policy & lint rules". *)
+
+type severity = Error | Warning
+
+type family = Determinism | Polymorphic_compare | Partiality | Hygiene
+
+type diagnostic = {
+  file : string;
+  line : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+val severity_to_string : severity -> string
+val family_to_string : family -> string
+
+val compare_diagnostic : diagnostic -> diagnostic -> int
+(** Orders by file, then line, then rule id — a stable report order. *)
+
+val in_lib : string -> bool
+(** Does the path contain a [lib] component? *)
+
+(** A rule applied line-by-line to scrubbed (or raw, for formatting rules)
+    source. *)
+type line_rule = {
+  id : string;
+  family : family;
+  severity : severity;
+  pattern : Str.regexp;
+  message : string;
+  applies : string -> bool;
+}
+
+val line_rules : line_rule list
+
+val is_raw_rule : string -> bool
+(** Formatting rules match raw source lines instead of scrubbed ones. *)
+
+(** The windowed Hashtbl-iteration-order rule. *)
+
+val hashtbl_order_id : string
+val hashtbl_order_pattern : Str.regexp
+val hashtbl_order_sort_pattern : Str.regexp
+val hashtbl_order_window_before : int
+val hashtbl_order_window_after : int
+val hashtbl_order_message : string
+val hashtbl_order_applies : string -> bool
+
+(** Project-level rules. *)
+
+val missing_mli_id : string
+val missing_mli_message : string
+val dune_flags_id : string
+val dune_flags_message : string
+
+val catalog : (string * family * string) list
+(** Every rule id with its family and one-line description. *)

@@ -33,7 +33,7 @@ let relevant_links_of_routes routes =
     (fun path -> Array.iter (fun link -> Hashtbl.replace seen link ()) path.Routes.links)
     routes;
   let out = Array.of_seq (Hashtbl.to_seq_keys seen) in
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out
 
 let pick_victim rng config routes =

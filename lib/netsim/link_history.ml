@@ -36,7 +36,7 @@ let bad_links_at t ~time =
         link :: acc
       else acc)
     t.table []
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let bad_fraction_at t ~time ~relevant =
   if Array.length relevant = 0 then 0.
@@ -44,6 +44,11 @@ let bad_fraction_at t ~time ~relevant =
     let bad = Array.fold_left (fun acc link -> if is_bad_at t ~link ~time then acc + 1 else acc) 0 relevant in
     float_of_int bad /. float_of_int (Array.length relevant)
   end
+
+let compare_interval (a_start, a_finish) (b_start, b_finish) =
+  match Float.compare a_start b_start with
+  | 0 -> Float.compare a_finish b_finish
+  | order -> order
 
 let merged_intervals t ~link ~horizon =
   let clipped =
@@ -53,7 +58,7 @@ let merged_intervals t ~link ~horizon =
         if finish > start then Some (start, finish) else None)
       (intervals t ~link)
   in
-  let sorted = List.sort compare clipped in
+  let sorted = List.sort compare_interval clipped in
   let rec merge acc = function
     | [] -> List.rev acc
     | interval :: rest -> (
@@ -71,11 +76,14 @@ let total_bad_time t ~link ~horizon =
     (merged_intervals t ~link ~horizon)
 
 let replay t ~engine ~state ~horizon =
-  Hashtbl.iter
-    (fun link _ ->
+  (* Schedule links in sorted order: if the engine breaks time ties by
+     insertion order, replay stays reproducible across hash seeds. *)
+  let links = List.sort Int.compare (Hashtbl.fold (fun link _ acc -> link :: acc) t.table []) in
+  List.iter
+    (fun link ->
       List.iter
         (fun (start, finish) ->
           Engine.schedule_at engine ~time:start (fun _ -> Link_state.set_bad state link);
           Engine.schedule_at engine ~time:finish (fun _ -> Link_state.set_good state link))
         (merged_intervals t ~link ~horizon))
-    t.table
+    links

@@ -118,7 +118,7 @@ let in_clockwise_interval x ~lo ~hi =
   else begin
     let to_x = clockwise_distance lo x in
     let to_hi = clockwise_distance lo hi in
-    compare to_x to_hi < 0
+    String.compare to_x to_hi < 0
   end
 
 let pp fmt t = Format.pp_print_string fmt (to_hex t)

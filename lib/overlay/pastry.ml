@@ -67,6 +67,8 @@ let numerically_closest t key =
   consider position;
   consider (position - 1);
   consider (position + 1);
+  (* [t.sorted] is non-empty (create rejects empty rings), so at least one
+     candidate was considered.  lint: allow assert-false *)
   match !best with Some (i, _) -> i | None -> assert false
 
 let next_hop t ~from ~dest =
@@ -126,7 +128,7 @@ let routing_peers t index =
     here.table;
   List.iter (fun id -> add (index_of_id_exn t id)) (Leaf_set.members here.leaf_set);
   let out = Array.of_seq (Hashtbl.to_seq_keys seen) in
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out
 
 let mean_routing_peer_count t =

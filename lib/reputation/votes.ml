@@ -24,6 +24,12 @@ let cast t vote =
 
 let vote_count t = Hashtbl.length t.by_pair
 
+(* A deterministic view of a secondary table: bindings sorted by peer id, so
+   float accumulations below never depend on the process hash seed. *)
+let sorted_bindings table =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun key vote acc -> (key, vote) :: acc) table [])
+
 let correlation t ~a ~b =
   if a = b then 1.
   else begin
@@ -31,14 +37,14 @@ let correlation t ~a ~b =
     | None, _ | _, None -> 0.
     | Some votes_a, Some votes_b ->
         let shared = ref 0 and agreements = ref 0 in
-        Hashtbl.iter
-          (fun subject vote_a ->
+        List.iter
+          (fun (subject, vote_a) ->
             match Hashtbl.find_opt votes_b subject with
             | None -> ()
             | Some vote_b ->
                 incr shared;
                 if vote_a.confident = vote_b.confident then incr agreements)
-          votes_a;
+          (sorted_bindings votes_a);
         if !shared = 0 then 0.
         else float_of_int ((2 * !agreements) - !shared) /. float_of_int !shared
   end
@@ -48,18 +54,18 @@ let score t ~observer ~subject =
   | None -> 0.
   | Some votes ->
       let weighted = ref 0. and weight_total = ref 0. in
-      Hashtbl.iter
-        (fun voter vote ->
+      List.iter
+        (fun (voter, vote) ->
           let weight = correlation t ~a:observer ~b:voter in
           if weight <> 0. then begin
             let value = if vote.confident then 1. else -1. in
             weighted := !weighted +. (weight *. value);
             weight_total := !weight_total +. abs_float weight
           end)
-        votes;
+        (sorted_bindings votes);
       if !weight_total = 0. then 0. else !weighted /. !weight_total
 
 let poor_peers t ~observer ~threshold =
   let subjects = Hashtbl.fold (fun subject _ acc -> subject :: acc) t.by_subject [] in
-  List.sort compare
+  List.sort Int.compare
     (List.filter (fun subject -> score t ~observer ~subject < threshold) subjects)

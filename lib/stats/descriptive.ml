@@ -20,8 +20,8 @@ let summarize samples =
     Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0. samples
     /. float_of_int n
   in
-  let minimum = Array.fold_left min samples.(0) samples in
-  let maximum = Array.fold_left max samples.(0) samples in
+  let minimum = Array.fold_left Float.min samples.(0) samples in
+  let maximum = Array.fold_left Float.max samples.(0) samples in
   { count = n; mean = mu; variance; stddev = sqrt variance; minimum; maximum }
 
 let stddev samples = (summarize samples).stddev
@@ -31,7 +31,7 @@ let quantile samples q =
   if n = 0 then invalid_arg "Descriptive.quantile: empty sample";
   if q < 0. || q > 1. then invalid_arg "Descriptive.quantile: q outside [0,1]";
   let sorted = Array.copy samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let position = q *. float_of_int (n - 1) in
   let lower = int_of_float (floor position) in
   let upper = min (n - 1) (lower + 1) in

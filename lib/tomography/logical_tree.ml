@@ -63,7 +63,9 @@ let of_tree tree =
     let parent = parents.(logical) in
     descendant_lists.(parent) <- descendant_lists.(logical) @ descendant_lists.(parent)
   done;
-  let descendant_leaves = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) descendant_lists in
+  let descendant_leaves =
+    Array.map (fun l -> Array.of_list (List.sort_uniq Int.compare l)) descendant_lists
+  in
   { physical = tree; parents; children; leaves; chains; physical_nodes; descendant_leaves }
 
 let physical t = t.physical

@@ -82,6 +82,6 @@ let suspect_physical_links estimate ~loss_threshold =
     if link_loss estimate node > loss_threshold then
       Array.iter (fun link -> out := link :: !out) (Logical_tree.chain estimate.logical node)
   done;
-  List.sort_uniq compare !out
+  List.sort_uniq Int.compare !out
 
 let infer_from_rounds logical rounds = infer logical ~acked:(Probing.acked_matrix rounds)

@@ -104,7 +104,7 @@ let physical_links t =
     out := t.parent_links.(node) :: !out
   done;
   let array = Array.of_list !out in
-  Array.sort compare array;
+  Array.sort Int.compare array;
   array
 
 let path_links_to t node =

@@ -326,7 +326,7 @@ let test_dht_replicas_distinct () =
   let key = Id.random (Prng.of_seed 97L) in
   let replicas = Dht.replica_nodes dht ~key in
   check Alcotest.int "replication factor" 3 (List.length replicas);
-  check Alcotest.int "distinct" 3 (List.length (List.sort_uniq compare replicas))
+  check Alcotest.int "distinct" 3 (List.length (List.sort_uniq Int.compare replicas))
 
 (* ---------- Stewardship ---------- *)
 

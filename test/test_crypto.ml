@@ -36,7 +36,7 @@ let test_sha256_length_boundaries () =
     List.map (fun n -> Sha256.hex_digest (String.make n 'x')) [ 54; 55; 56; 57; 63; 64; 65 ]
   in
   check Alcotest.int "all distinct" (List.length digests)
-    (List.length (List.sort_uniq compare digests))
+    (List.length (List.sort_uniq String.compare digests))
 
 let test_digest_list_unambiguous () =
   check Alcotest.bool "field boundaries matter" false
@@ -119,7 +119,7 @@ let prop_signed_any_payload =
 let test_nonce_uniqueness () =
   let generate = Nonce.generator ~seed:4L in
   let nonces = List.init 1000 (fun _ -> Nonce.to_string (generate ())) in
-  check Alcotest.int "all distinct" 1000 (List.length (List.sort_uniq compare nonces))
+  check Alcotest.int "all distinct" 1000 (List.length (List.sort_uniq String.compare nonces))
 
 let suites =
   [

@@ -1,0 +1,263 @@
+open Alcotest
+module Lexer = Concilium_lint.Lexer
+module Rules = Concilium_lint.Rules
+module Engine = Concilium_lint.Engine
+module Report = Concilium_lint.Report
+
+(* Fixtures are assembled from pieces so this file itself never contains a
+   bannable construct (or trailing whitespace) outside a string literal. *)
+
+let lint ?(path = "lib/fixture/fake.ml") source = Engine.lint_ml ~path source
+
+let rule_ids diagnostics =
+  List.sort_uniq String.compare (List.map (fun (d : Rules.diagnostic) -> d.Rules.rule) diagnostics)
+
+let fired rule diagnostics = List.mem rule (rule_ids diagnostics)
+
+let check_fires rule source =
+  check bool (Printf.sprintf "%s fires" rule) true (fired rule (lint source))
+
+let check_clean ?path rule source =
+  check bool (Printf.sprintf "%s silent" rule) false (fired rule (lint ?path source))
+
+(* ---------- Lexer ---------- *)
+
+let test_lexer_blanks_comments_and_strings () =
+  let source = "let x = 1 (* List.hd inside comment *)\nlet s = \"List.hd inside string\"\n" in
+  let scrubbed = Lexer.scrub source in
+  Array.iter
+    (fun line ->
+      check bool "no List.hd survives scrubbing" false
+        (let re = Str.regexp_string "List.hd" in
+         match Str.search_forward re line 0 with exception Not_found -> false | _ -> true))
+    scrubbed.Lexer.code_lines;
+  check int "one comment collected" 1 (List.length scrubbed.Lexer.comments)
+
+let test_lexer_nested_comments () =
+  let source = "(* outer (* inner *) still outer *)\nlet x = 1\n" in
+  let scrubbed = Lexer.scrub source in
+  (match scrubbed.Lexer.comments with
+  | [ c ] ->
+      check int "starts on line 1" 1 c.Lexer.start_line;
+      check bool "nested body kept" true
+        (match Str.search_forward (Str.regexp_string "inner") c.Lexer.text 0 with
+        | exception Not_found -> false
+        | _ -> true)
+  | comments -> failf "expected one comment, got %d" (List.length comments));
+  check string "code preserved" "let x = 1" (String.trim scrubbed.Lexer.code_lines.(1))
+
+let test_lexer_char_literal_vs_type_var () =
+  (* A 'a type variable must not open a character literal and swallow code. *)
+  let source = "let f (x : 'a list) = x\nlet c = 'x'\nlet y = 1\n" in
+  let scrubbed = Lexer.scrub source in
+  check bool "type variable kept as code" true
+    (String.length scrubbed.Lexer.code_lines.(0) > 10);
+  check string "later lines intact" "let y = 1" (String.trim scrubbed.Lexer.code_lines.(2))
+
+let test_lexer_quoted_string () =
+  let source = "let s = {ext|Obj.magic here|ext}\nlet z = 2\n" in
+  let scrubbed = Lexer.scrub source in
+  check bool "quoted literal scrubbed" false
+    (match Str.search_forward (Str.regexp_string "Obj.magic") scrubbed.Lexer.code_lines.(0) 0 with
+    | exception Not_found -> false
+    | _ -> true);
+  check string "following code intact" "let z = 2" (String.trim scrubbed.Lexer.code_lines.(1))
+
+(* ---------- Determinism rules ---------- *)
+
+let test_random_rule () =
+  check_fires "random" "let x = Random.int 10\n";
+  check_fires "random" "let x = Stdlib.Random.bool ()\n";
+  (* The PRNG module itself is the one place allowed to mention randomness. *)
+  check_clean ~path:"lib/util/prng.ml" "random" "let x = Random.int 10\n";
+  (* Strings and comments never trip the rule. *)
+  check_clean "random" "let x = \"Random.int\"\n";
+  check_clean "random" "(* Random.int *) let x = 1\n"
+
+let test_wall_clock_rule () =
+  check_fires "wall-clock" "let t = Sys.time ()\n";
+  check_fires "wall-clock" "let t = Unix.gettimeofday ()\n";
+  check_clean "wall-clock" "let t = Engine.now engine\n"
+
+let test_hashtbl_hash_rule () =
+  check_fires "hashtbl-hash" "let h = Hashtbl.hash x\n";
+  check_fires "hashtbl-hash" "let t = Hashtbl.create ~random:true 16\n";
+  check_clean "hashtbl-hash" "let t = Hashtbl.create 16\n"
+
+let test_hashtbl_order_rule () =
+  let unsorted = "let keys t =\n  Hashtbl.fold (fun k _ acc -> k :: acc) t []\n" in
+  check_fires "hashtbl-order" unsorted;
+  let sorted =
+    "let keys t =\n  Hashtbl.fold (fun k _ acc -> k :: acc) t []\n  |> List.sort Int.compare\n"
+  in
+  check_clean "hashtbl-order" sorted;
+  let suppressed =
+    "let bump t =\n  (* order-independent mutation; lint: allow hashtbl-order *)\n  Hashtbl.iter (fun _ cell -> incr cell) t\n"
+  in
+  check_clean "hashtbl-order" suppressed;
+  (* Only lib/ and bin/ are in scope for the ordering rule. *)
+  check_clean ~path:"test/fake.ml" "hashtbl-order" unsorted
+
+(* ---------- Polymorphic-compare rules ---------- *)
+
+let test_poly_compare_rule () =
+  check_fires "poly-compare" "let xs = List.sort compare xs\n";
+  check_fires "poly-compare" ("let () = Array.sort" ^ " compare a\n");
+  check_fires "poly-compare" "let xs = List.sort_uniq compare xs\n";
+  check_fires "poly-compare" "let c = Stdlib.compare a b\n";
+  check_fires "poly-compare" "let m = Array.fold_left min x a\n";
+  check_clean "poly-compare" "let xs = List.sort Int.compare xs\n";
+  check_clean "poly-compare" "let xs = List.sort Id.compare xs\n";
+  check_clean "poly-compare" "let m = Array.fold_left Float.min x a\n";
+  (* Direct scalar uses of min/max are fine. *)
+  check_clean "poly-compare" "let m = max 0 (x - 1)\n"
+
+let test_physical_equality_rule () =
+  check_fires "physical-equality" "let same = a == b\n";
+  check_fires "physical-equality" "let diff = a != b\n";
+  check_clean "physical-equality" "let same = a = b\n";
+  check_clean ~path:"test/fake.ml" "physical-equality" "let same = a == b\n"
+
+(* ---------- Partiality rules ---------- *)
+
+let test_partiality_rules () =
+  check_fires "list-partial" "let x = List.hd xs\n";
+  check_fires "list-partial" "let x = List.nth xs 3\n";
+  check_fires "option-get" "let x = Option.get o\n";
+  check_fires "obj-magic" "let x = Obj.magic y\n";
+  check_fires "assert-false" "let f () = assert false\n";
+  check_fires "array-get" "let x = Array.get a i\n";
+  check_clean "list-partial" "let x = match xs with [] -> 0 | x :: _ -> x\n";
+  (* Partiality rules stop at the library/binary boundary. *)
+  check_clean ~path:"test/fake.ml" "list-partial" "let x = List.hd xs\n"
+
+let test_suppression_scope () =
+  (* An allow comment covers its own line and the next one only. *)
+  let suppressed = "(* lint: allow list-partial *)\nlet x = List.hd xs\n" in
+  check_clean "list-partial" suppressed;
+  let out_of_scope = "(* lint: allow list-partial *)\nlet a = 1\nlet x = List.hd xs\n" in
+  check_fires "list-partial" out_of_scope;
+  (* allow-file covers the whole file; [all] covers every rule. *)
+  let file_wide = "(* lint: allow-file list-partial *)\nlet a = 1\nlet x = List.hd xs\n" in
+  check_clean "list-partial" file_wide;
+  let wildcard = "(* lint: allow all *)\nlet x = List.hd (List.sort compare xs)\n" in
+  let diagnostics = lint wildcard in
+  check int "all suppresses everything" 0 (List.length diagnostics);
+  (* A suppression for one rule does not silence another. *)
+  let wrong_rule = "(* lint: allow option-get *)\nlet x = List.hd xs\n" in
+  check_fires "list-partial" wrong_rule
+
+let test_formatting_rules () =
+  check_fires "trailing-whitespace" ("let x = 1" ^ "  " ^ "\nlet y = 2\n");
+  check_fires "tab-indent" ("let x =\n" ^ "\t1\n");
+  check_clean "trailing-whitespace" "let x = 1\nlet y = 2\n"
+
+(* ---------- Project-level rules ---------- *)
+
+let test_dune_flags_rule () =
+  let bare = "(library\n (name fixture))\n" in
+  (match Engine.lint_dune ~path:"lib/fixture/dune" bare with
+  | [ d ] ->
+      check string "rule id" "dune-flags" d.Rules.rule;
+      check int "points at the stanza" 1 d.Rules.line
+  | ds -> failf "expected one diagnostic, got %d" (List.length ds));
+  let hardened =
+    "(library\n (name fixture)\n (flags (:standard -w +a-4-9-40-41-42-44-45-70 -warn-error +a)))\n"
+  in
+  check int "hardened is clean" 0 (List.length (Engine.lint_dune ~path:"lib/fixture/dune" hardened));
+  check int "no stanza, no complaint" 0
+    (List.length (Engine.lint_dune ~path:"lib/fixture/dune" "(rule (alias x) (action (echo hi)))\n"))
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let test_missing_mli_detection () =
+  (* Build a tiny on-disk tree: lib/covered.{ml,mli} and lib/naked.ml. *)
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "concilium_lint_fixture" in
+  let lib = Filename.concat root "lib" in
+  if not (Sys.file_exists lib) then begin
+    if not (Sys.file_exists root) then Sys.mkdir root 0o755;
+    Sys.mkdir lib 0o755
+  end;
+  write_file (Filename.concat lib "covered.ml") "let x = 1\n";
+  write_file (Filename.concat lib "covered.mli") "val x : int\n";
+  write_file (Filename.concat lib "naked.ml") "let y = 2\n";
+  let diagnostics = Engine.lint_paths [ root ] in
+  let missing =
+    List.filter (fun (d : Rules.diagnostic) -> d.Rules.rule = "missing-mli") diagnostics
+  in
+  (match missing with
+  | [ d ] ->
+      check bool "flags the uncovered module" true
+        (Filename.basename d.Rules.file = "naked.ml")
+  | ds -> failf "expected one missing-mli, got %d" (List.length ds));
+  List.iter (fun f -> Sys.remove (Filename.concat lib f)) [ "covered.ml"; "covered.mli"; "naked.ml" ]
+
+(* ---------- Reporting ---------- *)
+
+let test_json_output () =
+  let diagnostics = lint "let x = List.hd xs\n" in
+  let json = Report.to_json diagnostics in
+  let contains needle =
+    match Str.search_forward (Str.regexp_string needle) json 0 with
+    | exception Not_found -> false
+    | _ -> true
+  in
+  check bool "has rule field" true (contains "\"rule\": \"list-partial\"");
+  check bool "has file field" true (contains "\"file\": \"lib/fixture/fake.ml\"");
+  check bool "has severity" true (contains "\"severity\": \"error\"");
+  check bool "escapes quotes" true (contains "\\\"" || not (contains "\"msg"))
+
+let test_catalog_covers_families () =
+  let families =
+    List.sort_uniq String.compare
+      (List.map (fun (_, family, _) -> Rules.family_to_string family) Rules.catalog)
+  in
+  check (list string) "all four families represented"
+    [ "determinism"; "hygiene"; "partiality"; "polymorphic-compare" ]
+    families
+
+let test_errors_filter () =
+  let diagnostics = lint "let x = Option.get o\n" in
+  check bool "errors subset non-empty" true (Engine.errors diagnostics <> [])
+
+let suites =
+  [
+    ( "lint.lexer",
+      [
+        test_case "comments and strings scrubbed" `Quick test_lexer_blanks_comments_and_strings;
+        test_case "nested comments" `Quick test_lexer_nested_comments;
+        test_case "char literal vs type variable" `Quick test_lexer_char_literal_vs_type_var;
+        test_case "quoted string literals" `Quick test_lexer_quoted_string;
+      ] );
+    ( "lint.determinism",
+      [
+        test_case "random banned outside prng" `Quick test_random_rule;
+        test_case "wall clock banned" `Quick test_wall_clock_rule;
+        test_case "hashtbl hash banned" `Quick test_hashtbl_hash_rule;
+        test_case "hashtbl iteration order" `Quick test_hashtbl_order_rule;
+      ] );
+    ( "lint.poly_compare",
+      [
+        test_case "bare compare in sorts" `Quick test_poly_compare_rule;
+        test_case "physical equality" `Quick test_physical_equality_rule;
+      ] );
+    ( "lint.partiality",
+      [
+        test_case "partial accessors" `Quick test_partiality_rules;
+        test_case "suppression scoping" `Quick test_suppression_scope;
+      ] );
+    ( "lint.hygiene",
+      [
+        test_case "formatting rules" `Quick test_formatting_rules;
+        test_case "dune hardened flags" `Quick test_dune_flags_rule;
+        test_case "mli coverage" `Quick test_missing_mli_detection;
+      ] );
+    ( "lint.report",
+      [
+        test_case "json output" `Quick test_json_output;
+        test_case "catalog families" `Quick test_catalog_covers_families;
+        test_case "errors filter" `Quick test_errors_filter;
+      ] );
+  ]

@@ -273,7 +273,7 @@ let prop_engine_fires_in_time_order =
          Engine.run engine;
          let fired = List.rev !fired in
          List.length fired = List.length times
-         && List.sort compare fired = fired))
+         && List.sort Float.compare fired = fired))
 
 let suites =
   [

@@ -343,7 +343,7 @@ let test_pastry_routing_peers () =
   check Alcotest.bool "has peers" true (Array.length peers > 8);
   check Alcotest.bool "self not a peer" false (Array.exists (( = ) 0) peers);
   let sorted = Array.copy peers in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   check Alcotest.bool "deduplicated" true (sorted = peers)
 
 let prop_pastry_routes_converge =
@@ -356,7 +356,7 @@ let prop_pastry_routes_converge =
       let route = Pastry.route overlay ~from:0 ~dest in
       let last = List.nth route (List.length route - 1) in
       last = Pastry.numerically_closest overlay dest
-      && List.length (List.sort_uniq compare route) = List.length route)
+      && List.length (List.sort_uniq Int.compare route) = List.length route)
 
 (* ---------- Freshness ---------- *)
 

@@ -276,7 +276,7 @@ let test_sparse_advertiser_caught () =
   let session = make_session ~behavior () in
   let reports = Protocol.exchange_advertisements session.protocol in
   let flagged =
-    List.sort_uniq compare
+    List.sort_uniq Int.compare
       (List.map (fun r -> r.Protocol.advertiser) reports)
   in
   check Alcotest.bool

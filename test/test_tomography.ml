@@ -65,7 +65,7 @@ let test_tree_shared_prefix_dedup () =
   (* Routers 0,1,2 are shared by the paths to 4 and 5 but appear once. *)
   let routers = List.init (Tree.node_count tree) (Tree.router_of tree) in
   check Alcotest.int "no duplicates" (List.length routers)
-    (List.length (List.sort_uniq compare routers))
+    (List.length (List.sort_uniq Int.compare routers))
 
 let test_tree_rejects_foreign_path () =
   let g, _ = fixture_tree () in

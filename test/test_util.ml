@@ -100,7 +100,7 @@ let test_sample_full_population () =
   let rng = Prng.of_seed 10L in
   let sample = Prng.sample_without_replacement rng 10 10 in
   let sorted = Array.copy sample in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   check (Alcotest.array Alcotest.int) "permutation" (Array.init 10 Fun.id) sorted
 
 let prop_shuffle_is_permutation =
@@ -110,7 +110,7 @@ let prop_shuffle_is_permutation =
       let rng = Prng.of_seed (Int64.of_int seed) in
       let array = Array.of_list list in
       Prng.shuffle rng array;
-      List.sort compare (Array.to_list array) = List.sort compare list)
+      List.sort Int.compare (Array.to_list array) = List.sort Int.compare list)
 
 (* ---------- Heap ---------- *)
 
@@ -146,7 +146,7 @@ let prop_heap_sorts =
         | None -> ()
       in
       drain ();
-      List.rev !drained = List.sort compare list)
+      List.rev !drained = List.sort Int.compare list)
 
 (* ---------- Bitset ---------- *)
 
@@ -180,8 +180,8 @@ let prop_bitset_matches_list_set =
     QCheck.(small_list (int_bound 63))
     (fun members ->
       let s = Bitset.of_list 64 members in
-      Bitset.to_list s = List.sort_uniq compare members
-      && Bitset.cardinal s = List.length (List.sort_uniq compare members))
+      Bitset.to_list s = List.sort_uniq Int.compare members
+      && Bitset.cardinal s = List.length (List.sort_uniq Int.compare members))
 
 (* ---------- Fenwick ---------- *)
 
@@ -228,8 +228,8 @@ let prop_sorted_bounds_bracket =
   QCheck.Test.make ~name:"lower/upper bound bracket all equal elements" ~count:200
     QCheck.(pair (small_list (int_bound 20)) (int_bound 20))
     (fun (list, x) ->
-      let a = Array.of_list (List.sort compare list) in
-      let lo = Sorted.lower_bound compare a x and hi = Sorted.upper_bound compare a x in
+      let a = Array.of_list (List.sort Int.compare list) in
+      let lo = Sorted.lower_bound Int.compare a x and hi = Sorted.upper_bound Int.compare a x in
       lo <= hi
       && Array.for_all (fun y -> y = x) (Array.sub a lo (hi - lo))
       && (lo = 0 || a.(lo - 1) < x)
