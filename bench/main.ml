@@ -17,6 +17,11 @@ module Minc = Concilium_tomography.Minc
 module Probing = Concilium_tomography.Probing
 module Observation = Concilium_tomography.Observation
 module Prng = Concilium_util.Prng
+module Pool = Concilium_util.Pool
+module Graph = Concilium_topology.Graph
+module Routes = Concilium_topology.Routes
+module Tree = Concilium_tomography.Tree
+module Logical_tree = Concilium_tomography.Logical_tree
 
 (* Shared fixtures, built once. *)
 let world = lazy (World.build (World.tiny_config ~seed:2024L))
@@ -79,7 +84,7 @@ let fig4_bench =
     (Staged.stage @@ fun () ->
      let w = Lazy.force world in
      let rng = Prng.of_seed 4L in
-     ignore (E.Fig4.run ~world:w ~rng ~host_sample:3))
+     ignore (E.Fig4.run ~world:w ~rng ~host_sample:3 ()))
 
 let fig5_bench =
   Test.make ~name:"fig5:blame-judgment-x10"
@@ -115,6 +120,70 @@ let minc_bench =
     (Staged.stage @@ fun () ->
      let logical, acked = Lazy.force minc_fixture in
      ignore (Minc.infer logical ~acked))
+
+(* A deliberately wide random tree (hundreds of leaves): the arena where the
+   single-sweep [infer] beats the per-node-scan [infer_reference], whose cost
+   carries an extra factor of the leaf count. *)
+let minc_large_fixture =
+  lazy
+    (let rng = Prng.of_seed 14L in
+     let n = 600 in
+     let b = Graph.Builder.create n in
+     let has_child = Array.make n false in
+     for i = 1 to n - 1 do
+       let parent = Prng.int rng i in
+       has_child.(parent) <- true;
+       Graph.Builder.add_link b parent i
+     done;
+     let g = Graph.build b in
+     let leaves =
+       Array.of_list (List.filter (fun i -> not has_child.(i)) (List.init n (fun i -> i)))
+     in
+     let path target =
+       match Routes.shortest_path g ~source:0 ~target with
+       | Some p -> p
+       | None -> invalid_arg "bench tree is connected by construction"
+     in
+     let tree = Tree.of_paths ~root:0 ~paths:(Array.map path leaves) in
+     let logical = Logical_tree.of_tree tree in
+     let leaf_count = Logical_tree.leaf_count logical in
+     let acked =
+       (* Lossy rounds: sparse acks force the reference's per-node
+          [Array.exists] to actually scan its descendant leaf sets rather
+          than exit on the first element. *)
+       Array.init 1000 (fun _ -> Array.init leaf_count (fun _ -> Prng.bernoulli rng 0.05))
+     in
+     (logical, acked))
+
+let minc_large_bench =
+  Test.make ~name:"tomography:minc-inference-large"
+    (Staged.stage @@ fun () ->
+     let logical, acked = Lazy.force minc_large_fixture in
+     ignore (Minc.infer logical ~acked))
+
+let minc_reference_bench =
+  Test.make ~name:"tomography:minc-reference-large"
+    (Staged.stage @@ fun () ->
+     let logical, acked = Lazy.force minc_large_fixture in
+     ignore (Minc.infer_reference logical ~acked))
+
+(* End-to-end figure regeneration, sequential vs the domain pool. On a
+   single-core host the pool degrades to the inline path, so the pair also
+   doubles as a pool-overhead check. *)
+let fig1_sizes = [| 128; 256; 512; 1024 |]
+
+let fig1_e2e_sequential_bench =
+  Test.make ~name:"experiments:fig1-end-to-end-sequential"
+    (Staged.stage @@ fun () ->
+     ignore (E.Fig1.run ~seed:2025L ~sizes:fig1_sizes ~trials:4 ()))
+
+let shared_pool = lazy (Pool.create ())
+
+let fig1_e2e_pool_bench =
+  Test.make ~name:"experiments:fig1-end-to-end-pool"
+    (Staged.stage @@ fun () ->
+     let pool = Lazy.force shared_pool in
+     ignore (E.Fig1.run ~pool ~seed:2025L ~sizes:fig1_sizes ~trials:4 ()))
 
 let pastry_route_bench =
   Test.make ~name:"overlay:pastry-route"
@@ -183,6 +252,10 @@ let benchmark () =
       bandwidth_bench;
       blame_eq2_bench;
       minc_bench;
+      minc_large_bench;
+      minc_reference_bench;
+      fig1_e2e_sequential_bench;
+      fig1_e2e_pool_bench;
       pastry_route_bench;
       secure_table_bench;
       sha256_bench;
@@ -198,14 +271,54 @@ let benchmark () =
   let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
   (Analyze.merge ols instances results, raw_results)
 
-let () =
-  let results, _ = benchmark () in
-  let open Bechamel_notty in
-  let rect =
-    match Notty_unix.winsize Unix.stdout with
-    | Some (w, h) -> { w; h }
-    | None -> { w = 120; h = 1 }
+(* ---------- Output ---------- *)
+
+(* Machine-readable dump for BENCH_baseline.json: one record per benchmark
+   with the OLS ns/run estimate. Collected rows are sorted by name because
+   Hashtbl iteration order is seed-dependent. *)
+let emit_json results =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _measure per_test ->
+      Hashtbl.iter
+        (fun name ols ->
+          let ns_per_run =
+            match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> 0.
+          in
+          let r_square =
+            match Analyze.OLS.r_square ols with Some r -> r | None -> 0.
+          in
+          rows := (name, ns_per_run, r_square) :: !rows)
+        per_test)
+    results;
+  let rows =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
   in
-  List.iter (fun v -> Unit.add v (Measure.unit v)) Instance.[ monotonic_clock ];
-  Multiple.image_of_ols_results ~rect ~predictor:Measure.run results
-  |> Notty_unix.eol |> Notty_unix.output_image
+  Printf.printf "{\n";
+  Printf.printf "  \"host\": { \"cores\": %d, \"ocaml\": %S },\n"
+    (Pool.default_domains ()) Sys.ocaml_version;
+  Printf.printf "  \"unit\": \"ns/run\",\n";
+  Printf.printf "  \"results\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Printf.printf "    { \"name\": %S, \"ns_per_run\": %.1f, \"r_square\": %.4f }%s\n"
+        name ns r2
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.printf "  ]\n}\n"
+
+let () =
+  let json = Array.exists (String.equal "--json") Sys.argv in
+  let results, _ = benchmark () in
+  if json then emit_json results
+  else begin
+    let open Bechamel_notty in
+    let rect =
+      match Notty_unix.winsize Unix.stdout with
+      | Some (w, h) -> { w; h }
+      | None -> { w = 120; h = 1 }
+    in
+    List.iter (fun v -> Unit.add v (Measure.unit v)) Instance.[ monotonic_clock ];
+    Multiple.image_of_ols_results ~rect ~predictor:Measure.run results
+    |> Notty_unix.eol |> Notty_unix.output_image
+  end

@@ -1,10 +1,12 @@
 (* Regenerates every table and figure of the paper's evaluation (Section 4).
    `experiments all --scale small` runs the full suite at reduced scale;
-   `--scale paper` matches the paper's dimensions. *)
+   `--scale paper` matches the paper's dimensions. `--domains N` fans the
+   Monte Carlo work out over N domains; output is identical for any N. *)
 
 module E = Concilium_experiments
 module World = Concilium_core.World
 module Prng = Concilium_util.Prng
+module Pool = Concilium_util.Pool
 
 type scale = Small | Paper
 
@@ -23,50 +25,52 @@ let report_world world =
     (World.Graph.node_count graph) (World.Graph.link_count graph) (World.node_count world)
     (Concilium_overlay.Pastry.mean_routing_peer_count world.World.pastry)
 
-let run_fig1 ~scale ~seed =
+let run_fig1 ~pool ~scale ~seed =
   let sizes, trials =
     match scale with
     | Small -> (Array.sub E.Fig1.default_sizes 0 7, 15)
     | Paper -> (E.Fig1.default_sizes, 30)
   in
-  E.Output.emit (E.Fig1.table (E.Fig1.run ~seed ~sizes ~trials))
+  E.Output.emit (E.Fig1.table (E.Fig1.run ~pool ~seed ~sizes ~trials ()))
 
 let density_n = 100_000
 
-let run_fig2 () =
+let run_fig2 ~pool () =
   List.iter E.Output.emit
     (E.Fig2_fig3.tables ~figure:"Figure 2"
-       (E.Fig2_fig3.run ~n:density_n ~suppression:false ~gammas:E.Fig2_fig3.default_gammas
-          ~colluding_fractions:E.Fig2_fig3.default_fractions))
+       (E.Fig2_fig3.run ~pool ~n:density_n ~suppression:false
+          ~gammas:E.Fig2_fig3.default_gammas
+          ~colluding_fractions:E.Fig2_fig3.default_fractions ()))
 
-let run_fig3 () =
+let run_fig3 ~pool () =
   List.iter E.Output.emit
     (E.Fig2_fig3.tables ~figure:"Figure 3"
-       (E.Fig2_fig3.run ~n:density_n ~suppression:true ~gammas:E.Fig2_fig3.default_gammas
-          ~colluding_fractions:E.Fig2_fig3.default_fractions))
+       (E.Fig2_fig3.run ~pool ~n:density_n ~suppression:true
+          ~gammas:E.Fig2_fig3.default_gammas
+          ~colluding_fractions:E.Fig2_fig3.default_fractions ()))
 
-let run_fig4 ~world ~seed =
+let run_fig4 ~pool ~world ~seed =
   let rng = Prng.of_seed (Int64.add seed 4L) in
   let host_sample = min 200 (World.node_count world) in
-  E.Output.emit (E.Fig4.table (E.Fig4.run ~world ~rng ~host_sample))
+  E.Output.emit (E.Fig4.table (E.Fig4.run ~pool ~world ~rng ~host_sample ()))
 
-let blame_results ~world ~scale ~seed =
+let blame_results ~pool ~world ~scale ~seed =
   let samples = match scale with Small -> 20_000 | Paper -> 50_000 in
   let honest_world =
     E.Blame_world.create ~world (E.Blame_world.paper_config ~colluding_fraction:0. ~seed)
   in
   Printf.printf "failure process: mean bad fraction %.3f (target 0.050)\n%!"
     (E.Blame_world.mean_bad_fraction honest_world);
-  let honest = E.Blame_world.run honest_world ~samples ~bins:25 in
+  let honest = E.Blame_world.run ~pool honest_world ~samples ~bins:25 in
   let collusion_world =
     E.Blame_world.create ~world
       (E.Blame_world.paper_config ~colluding_fraction:0.2 ~seed:(Int64.add seed 5L))
   in
-  let collusion = E.Blame_world.run collusion_world ~samples ~bins:25 in
+  let collusion = E.Blame_world.run ~pool collusion_world ~samples ~bins:25 in
   (honest, collusion)
 
-let run_fig5 ~world ~scale ~seed =
-  let honest, collusion = blame_results ~world ~scale ~seed in
+let run_fig5 ~pool ~world ~scale ~seed =
+  let honest, collusion = blame_results ~pool ~world ~scale ~seed in
   E.Output.emit
     (E.Blame_world.pdf_table ~title:"Figure 5(a): blame pdfs, all peers honest" honest);
   E.Output.emit
@@ -75,102 +79,104 @@ let run_fig5 ~world ~scale ~seed =
   E.Output.emit (E.Blame_world.summary_table honest (Some collusion));
   (honest, collusion)
 
-let run_fig6 ~honest ~collusion =
+let run_fig6 ~pool ~honest ~collusion =
   let open E.Blame_world in
   E.Output.emit
     (E.Fig6.table ~w:100
-       (E.Fig6.run ~w:100 ~max_m:30
+       (E.Fig6.run ~pool ~w:100 ~max_m:30
           { E.Fig6.label = "honest"; p_good = honest.p_good; p_faulty = honest.p_faulty }));
   E.Output.emit
     (E.Fig6.table ~w:100
-       (E.Fig6.run ~w:100 ~max_m:30
+       (E.Fig6.run ~pool ~w:100 ~max_m:30
           {
             E.Fig6.label = "20% collusion";
             p_good = collusion.p_good;
             p_faulty = collusion.p_faulty;
           }))
 
-let run_bandwidth () =
-  List.iter E.Output.emit (E.Bandwidth_exp.run ~sizes:E.Bandwidth_exp.default_sizes)
+let run_bandwidth ~pool () =
+  List.iter E.Output.emit (E.Bandwidth_exp.run ~pool ~sizes:E.Bandwidth_exp.default_sizes ())
 
-let run_ablations ~world ~scale ~seed =
+let run_ablations ~pool ~world ~scale ~seed =
   let samples = match scale with Small -> 8_000 | Paper -> 20_000 in
-  List.iter E.Output.emit (E.Ablations.run_all ~world ~samples ~seed:(Int64.add seed 21L))
+  List.iter E.Output.emit
+    (E.Ablations.run_all ~pool ~world ~samples ~seed:(Int64.add seed 21L) ())
 
-let run_baselines ~world ~scale ~seed =
+let run_baselines ~pool ~world ~scale ~seed =
   let samples = match scale with Small -> 10_000 | Paper -> 30_000 in
   let bw =
     E.Blame_world.create ~world
       (E.Blame_world.paper_config ~colluding_fraction:0. ~seed:(Int64.add seed 33L))
   in
-  E.Output.emit (E.Baselines.table (E.Baselines.run bw ~samples))
+  E.Output.emit (E.Baselines.table (E.Baselines.run ~pool bw ~samples))
 
-let run_secure_routing ~scale ~seed =
+let run_secure_routing ~pool ~scale ~seed =
   let overlay_size, trials =
     match scale with Small -> (300, 300) | Paper -> (1000, 600)
   in
   E.Output.emit
     (E.Secure_routing_exp.table
-       (E.Secure_routing_exp.run ~seed:(Int64.add seed 55L) ~overlay_size ~trials
-          ~fractions:E.Secure_routing_exp.default_fractions))
+       (E.Secure_routing_exp.run ~pool ~seed:(Int64.add seed 55L) ~overlay_size ~trials
+          ~fractions:E.Secure_routing_exp.default_fractions ()))
 
-let run_chord ~scale ~seed =
+let run_chord ~pool ~scale ~seed =
   let sizes, trials =
     match scale with
     | Small -> ([| 128; 512; 2048 |], 10)
     | Paper -> ([| 128; 512; 2048; 8192; 32768 |], 20)
   in
-  E.Output.emit (E.Chord_exp.occupancy_table (E.Chord_exp.run ~seed ~sizes ~trials));
+  E.Output.emit (E.Chord_exp.occupancy_table (E.Chord_exp.run ~pool ~seed ~sizes ~trials ()));
   E.Output.emit
-    (E.Chord_exp.error_rates_table ~n:100_000
-       ~colluding_fractions:[| 0.05; 0.1; 0.2; 0.3 |])
+    (E.Chord_exp.error_rates_table ~pool ~n:100_000
+       ~colluding_fractions:[| 0.05; 0.1; 0.2; 0.3 |] ())
 
 let needs_world = function
   | "fig4" | "fig5" | "fig6" | "all" | "ablations" | "baselines" -> true
   | _ -> false
 
-let run_experiment name scale seed tsv =
+let run_experiment name scale seed tsv domains =
   E.Output.set_tsv_dir tsv;
-  let world =
-    if needs_world name then begin
-      let w = world_of_scale scale seed in
-      report_world w;
-      Some w
-    end
-    else None
-  in
-  let world () =
-    match world with
-    | Some w -> w
-    | None -> failwith ("experiment '" ^ name ^ "' needs a world but none was built")
-  in
-  match name with
-  | "fig1" -> run_fig1 ~scale ~seed
-  | "fig2" -> run_fig2 ()
-  | "fig3" -> run_fig3 ()
-  | "fig4" -> run_fig4 ~world:(world ()) ~seed
-  | "fig5" -> ignore (run_fig5 ~world:(world ()) ~scale ~seed)
-  | "fig6" ->
-      let honest, collusion = blame_results ~world:(world ()) ~scale ~seed in
-      run_fig6 ~honest ~collusion
-  | "bandwidth" -> run_bandwidth ()
-  | "ablations" -> run_ablations ~world:(world ()) ~scale ~seed
-  | "baselines" -> run_baselines ~world:(world ()) ~scale ~seed
-  | "chord" -> run_chord ~scale ~seed
-  | "secure-routing" -> run_secure_routing ~scale ~seed
-  | "all" ->
-      run_fig1 ~scale ~seed;
-      run_fig2 ();
-      run_fig3 ();
-      run_fig4 ~world:(world ()) ~seed;
-      let honest, collusion = run_fig5 ~world:(world ()) ~scale ~seed in
-      run_fig6 ~honest ~collusion;
-      run_bandwidth ();
-      run_baselines ~world:(world ()) ~scale ~seed;
-      run_ablations ~world:(world ()) ~scale ~seed;
-      run_chord ~scale ~seed;
-      run_secure_routing ~scale ~seed
-  | other -> Printf.eprintf "unknown experiment %S\n" other
+  Pool.with_pool ?domains (fun pool ->
+      let world =
+        if needs_world name then begin
+          let w = world_of_scale scale seed in
+          report_world w;
+          Some w
+        end
+        else None
+      in
+      let world () =
+        match world with
+        | Some w -> w
+        | None -> failwith ("experiment '" ^ name ^ "' needs a world but none was built")
+      in
+      match name with
+      | "fig1" -> run_fig1 ~pool ~scale ~seed
+      | "fig2" -> run_fig2 ~pool ()
+      | "fig3" -> run_fig3 ~pool ()
+      | "fig4" -> run_fig4 ~pool ~world:(world ()) ~seed
+      | "fig5" -> ignore (run_fig5 ~pool ~world:(world ()) ~scale ~seed)
+      | "fig6" ->
+          let honest, collusion = blame_results ~pool ~world:(world ()) ~scale ~seed in
+          run_fig6 ~pool ~honest ~collusion
+      | "bandwidth" -> run_bandwidth ~pool ()
+      | "ablations" -> run_ablations ~pool ~world:(world ()) ~scale ~seed
+      | "baselines" -> run_baselines ~pool ~world:(world ()) ~scale ~seed
+      | "chord" -> run_chord ~pool ~scale ~seed
+      | "secure-routing" -> run_secure_routing ~pool ~scale ~seed
+      | "all" ->
+          run_fig1 ~pool ~scale ~seed;
+          run_fig2 ~pool ();
+          run_fig3 ~pool ();
+          run_fig4 ~pool ~world:(world ()) ~seed;
+          let honest, collusion = run_fig5 ~pool ~world:(world ()) ~scale ~seed in
+          run_fig6 ~pool ~honest ~collusion;
+          run_bandwidth ~pool ();
+          run_baselines ~pool ~world:(world ()) ~scale ~seed;
+          run_ablations ~pool ~world:(world ()) ~scale ~seed;
+          run_chord ~pool ~scale ~seed;
+          run_secure_routing ~pool ~scale ~seed
+      | other -> Printf.eprintf "unknown experiment %S\n" other)
 
 open Cmdliner
 
@@ -199,10 +205,17 @@ let tsv =
   let doc = "Also write every table as TSV into this directory." in
   Arg.(value & opt (some string) None & info [ "tsv" ] ~docv:"DIR" ~doc)
 
+let domains =
+  let doc =
+    "Number of domains for parallel Monte Carlo fan-out (default: the runtime's recommended \
+     count; 1 = sequential). Results are identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "Reproduce the tables and figures of the Concilium evaluation" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run_experiment $ experiment $ scale $ seed $ tsv)
+    Term.(const run_experiment $ experiment $ scale $ seed $ tsv $ domains)
 
 let () = exit (Cmd.eval cmd)

@@ -17,17 +17,54 @@ module World = Concilium_core.World
       amortisation actually achieved by co-resident hosts in the simulated
       world. *)
 
-val self_exclusion : world:World.t -> samples:int -> seed:int64 -> Output.table
+val self_exclusion :
+  ?pool:Concilium_util.Pool.t ->
+  world:World.t ->
+  samples:int ->
+  seed:int64 ->
+  unit ->
+  Output.table
 
 val delta_sensitivity :
-  world:World.t -> deltas:float array -> samples:int -> seed:int64 -> Output.table
+  ?pool:Concilium_util.Pool.t ->
+  world:World.t ->
+  deltas:float array ->
+  samples:int ->
+  seed:int64 ->
+  unit ->
+  Output.table
 
 val probe_rate_sensitivity :
-  world:World.t -> max_probe_times:float array -> samples:int -> seed:int64 -> Output.table
+  ?pool:Concilium_util.Pool.t ->
+  world:World.t ->
+  max_probe_times:float array ->
+  samples:int ->
+  seed:int64 ->
+  unit ->
+  Output.table
 
-val visibility : world:World.t -> samples:int -> seed:int64 -> Output.table
+val visibility :
+  ?pool:Concilium_util.Pool.t ->
+  world:World.t ->
+  samples:int ->
+  seed:int64 ->
+  unit ->
+  Output.table
 
 val probe_consolidation :
-  world:World.t -> group_sizes:int array -> seed:int64 -> Output.table
+  ?pool:Concilium_util.Pool.t ->
+  world:World.t ->
+  group_sizes:int array ->
+  seed:int64 ->
+  unit ->
+  Output.table
 
-val run_all : world:World.t -> samples:int -> seed:int64 -> Output.table list
+(** Variants fan out over the pool; each variant's own nested fan-out then
+    runs inline, keeping results independent of the domain count. *)
+val run_all :
+  ?pool:Concilium_util.Pool.t ->
+  world:World.t ->
+  samples:int ->
+  seed:int64 ->
+  unit ->
+  Output.table list

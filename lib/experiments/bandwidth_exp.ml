@@ -1,8 +1,9 @@
 module Bandwidth = Concilium_core.Bandwidth
+module Pool = Concilium_util.Pool
 
 let default_sizes = [| 1_000; 10_000; 100_000; 1_000_000 |]
 
-let run ~sizes =
+let run ?pool ~sizes () =
   let paper =
     {
       Output.title =
@@ -27,8 +28,7 @@ let run ~sizes =
         [ "overlay size"; "routing entries"; "advertised state (KiB)"; "heavy probing (MiB)" ];
       rows =
         Array.to_list
-          (Array.map
-             (fun n ->
+          (Pool.parallel_map ?pool sizes ~f:(fun n ->
                let params = { Bandwidth.paper_params with Bandwidth.overlay_size = n } in
                [
                  Output.cell_i n;
@@ -36,8 +36,7 @@ let run ~sizes =
                  Printf.sprintf "%.2f" (Bandwidth.advertised_state_bytes params /. 1024.);
                  Printf.sprintf "%.2f"
                    (Bandwidth.heavyweight_probe_bytes params /. (1024. *. 1024.));
-               ])
-             sizes);
+               ]));
     }
   in
   [ paper; sweep ]

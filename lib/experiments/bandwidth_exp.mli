@@ -1,5 +1,5 @@
 (** Section 4.4: the bandwidth analysis, reproduced from the analytic model
     for the paper's 100,000-node overlay and a sweep of other sizes. *)
 
-val run : sizes:int array -> Output.table list
+val run : ?pool:Concilium_util.Pool.t -> sizes:int array -> unit -> Output.table list
 val default_sizes : int array

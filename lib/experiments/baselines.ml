@@ -1,4 +1,5 @@
 module Prng = Concilium_util.Prng
+module Pool = Concilium_util.Pool
 
 type row = {
   label : string;
@@ -13,14 +14,18 @@ type result = {
   node_fault_samples : int;
 }
 
-let run blame_world ~samples =
+(* Like Blame_world.run, the rejection-sampled draws are split into a fixed
+   shard count — independent of the domain count — with pre-split streams,
+   so the counters sum identically however the shards are scheduled. *)
+let shard_count = 16
+
+let run_shard blame_world ~rng ~quota =
   let config = Blame_world.config blame_world in
-  let rng = Prng.of_seed (Int64.add config.Blame_world.seed 0xBA5EL) in
   (* Counters: (says-network when network, says-node when node). *)
   let network_total = ref 0 and node_total = ref 0 in
   let concilium_network = ref 0 and concilium_node = ref 0 in
   let collected = ref 0 and attempts = ref 0 in
-  while !collected < samples && !attempts < 200 * samples do
+  while !collected < quota && !attempts < 200 * quota do
     incr attempts;
     match Blame_world.sample_judgment blame_world ~rng with
     | None -> ()
@@ -39,6 +44,26 @@ let run blame_world ~samples =
           if not says_node then incr concilium_network
         end
   done;
+  (!network_total, !node_total, !concilium_network, !concilium_node)
+
+let run ?pool blame_world ~samples =
+  let config = Blame_world.config blame_world in
+  let rng = Prng.of_seed (Int64.add config.Blame_world.seed 0xBA5EL) in
+  let shard_rngs = Prng.split_n rng shard_count in
+  let quota i = (samples / shard_count) + (if i < samples mod shard_count then 1 else 0) in
+  let shards =
+    Pool.parallel_init ?pool shard_count ~f:(fun i ->
+        run_shard blame_world ~rng:shard_rngs.(i) ~quota:(quota i))
+  in
+  let network_total = ref 0 and node_total = ref 0 in
+  let concilium_network = ref 0 and concilium_node = ref 0 in
+  Array.iter
+    (fun (network, node, c_network, c_node) ->
+      network_total := !network_total + network;
+      node_total := !node_total + node;
+      concilium_network := !concilium_network + c_network;
+      concilium_node := !concilium_node + c_node)
+    shards;
   let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
   let total = !network_total + !node_total in
   let overall_of ~network_correct ~node_correct =

@@ -23,5 +23,7 @@ type result = {
   node_fault_samples : int;
 }
 
-val run : Blame_world.t -> samples:int -> result
+(** Draws are sharded deterministically (fixed shard count, pre-split
+    streams): the result is identical for any domain count. *)
+val run : ?pool:Concilium_util.Pool.t -> Blame_world.t -> samples:int -> result
 val table : result -> Output.table

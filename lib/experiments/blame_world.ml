@@ -7,6 +7,7 @@ module Graph = Concilium_topology.Graph
 module Routes = Concilium_topology.Routes
 module Failures = Concilium_netsim.Failures
 module Link_history = Concilium_netsim.Link_history
+module Pool = Concilium_util.Pool
 
 type config = {
   duration : float;
@@ -208,15 +209,29 @@ type result = {
   nonfaulty_samples : int;
 }
 
-let run t ~samples ~bins =
-  let rng = Prng.of_seed (Int64.add t.config.seed 0x5151L) in
-  let faulty_pdf = Histogram.create ~lo:0. ~hi:1. ~bins in
-  let nonfaulty_pdf = Histogram.create ~lo:0. ~hi:1. ~bins in
-  let faulty_guilty = ref 0 and nonfaulty_guilty = ref 0 in
+(* The judgment draw is rejection sampling, so the work is split into a
+   FIXED number of shards — independent of the domain count — each with its
+   own pre-split stream and sample quota. Shard results merge in shard
+   order, so output is identical whether shards run on one domain or
+   many. *)
+let shard_count = 32
+
+(* Per-shard accumulation: accepted blame values (in draw order) and guilty
+   counts for each population. *)
+type shard = {
+  mutable faulty : float list;  (* reversed draw order *)
+  mutable faulty_guilty : int;
+  mutable nonfaulty : float list;
+  mutable nonfaulty_guilty : int;
+  mutable accepted : int;
+}
+
+let run_shard t ~rng ~quota =
+  let s = { faulty = []; faulty_guilty = 0; nonfaulty = []; nonfaulty_guilty = 0; accepted = 0 } in
   let collusion = t.config.colluding_fraction > 0. in
-  let accepted = ref 0 and attempts = ref 0 in
-  let max_attempts = 200 * samples in
-  while !accepted < samples && !attempts < max_attempts do
+  let attempts = ref 0 in
+  let max_attempts = 200 * quota in
+  while s.accepted < quota && !attempts < max_attempts do
     incr attempts;
     match sample_judgment t ~rng with
     | None -> ()
@@ -227,19 +242,40 @@ let run t ~samples ~bins =
              ate the message. Under collusion the paper's droppers are the
              colluders, so only malicious suspects enter this population. *)
           if (not collusion) || t.malicious.(j.suspect) then begin
-            Histogram.add faulty_pdf j.blame;
-            if guilty then incr faulty_guilty;
-            incr accepted
+            s.faulty <- j.blame :: s.faulty;
+            if guilty then s.faulty_guilty <- s.faulty_guilty + 1;
+            s.accepted <- s.accepted + 1
           end
         end
         else begin
           if (not collusion) || not t.malicious.(j.suspect) then begin
-            Histogram.add nonfaulty_pdf j.blame;
-            if guilty then incr nonfaulty_guilty;
-            incr accepted
+            s.nonfaulty <- j.blame :: s.nonfaulty;
+            if guilty then s.nonfaulty_guilty <- s.nonfaulty_guilty + 1;
+            s.accepted <- s.accepted + 1
           end
         end
   done;
+  s
+
+let run ?pool t ~samples ~bins =
+  let rng = Prng.of_seed (Int64.add t.config.seed 0x5151L) in
+  let shard_rngs = Prng.split_n rng shard_count in
+  (* Spread [samples] over the shards, remainder to the first ones. *)
+  let quota i = (samples / shard_count) + (if i < samples mod shard_count then 1 else 0) in
+  let shards =
+    Pool.parallel_init ?pool shard_count ~f:(fun i ->
+        run_shard t ~rng:shard_rngs.(i) ~quota:(quota i))
+  in
+  let faulty_pdf = Histogram.create ~lo:0. ~hi:1. ~bins in
+  let nonfaulty_pdf = Histogram.create ~lo:0. ~hi:1. ~bins in
+  let faulty_guilty = ref 0 and nonfaulty_guilty = ref 0 in
+  Array.iter
+    (fun s ->
+      List.iter (Histogram.add faulty_pdf) s.faulty;
+      List.iter (Histogram.add nonfaulty_pdf) s.nonfaulty;
+      faulty_guilty := !faulty_guilty + s.faulty_guilty;
+      nonfaulty_guilty := !nonfaulty_guilty + s.nonfaulty_guilty)
+    shards;
   let faulty_samples = Histogram.total faulty_pdf in
   let nonfaulty_samples = Histogram.total nonfaulty_pdf in
   {

@@ -3,6 +3,7 @@ module Id = Concilium_overlay.Id
 module Density_test = Concilium_overlay.Density_test
 module Prng = Concilium_util.Prng
 module Descriptive = Concilium_stats.Descriptive
+module Pool = Concilium_util.Pool
 
 type point = {
   n : int;
@@ -11,11 +12,15 @@ type point = {
   route_length : float;
 }
 
-let run ~seed ~sizes ~trials =
+let run ?pool ~seed ~sizes ~trials () =
   let rng = Prng.of_seed seed in
+  (* One pre-split stream per overlay size; inside a task the draws are
+     strictly sequential on that stream, so fan-out order cannot matter. *)
+  let size_rngs = Prng.split_n rng (Array.length sizes) in
   Array.to_list
-    (Array.map
-       (fun n ->
+    (Pool.parallel_init ?pool (Array.length sizes) ~f:(fun index ->
+         let n = sizes.(index) in
+         let rng = size_rngs.(index) in
          let model = Chord.Model.occupancy_model ~n in
          let samples = Chord.Model.monte_carlo_occupancy ~rng ~n ~trials in
          let ids = Array.init n (fun _ -> Id.random rng) in
@@ -26,8 +31,7 @@ let run ~seed ~sizes ~trials =
              model.Concilium_stats.Poisson_binomial.mu_phi /. float_of_int Chord.finger_count;
            monte_carlo_mean = Descriptive.mean samples;
            route_length = Chord.mean_route_length overlay ~trials:100 ~rng;
-         })
-       sizes)
+         }))
 
 let occupancy_table points =
   {
@@ -48,13 +52,13 @@ let occupancy_table points =
         points;
   }
 
-let error_rates_table ~n ~colluding_fractions =
+let error_rates_table ?pool ~n ~colluding_fractions () =
   let gammas = Array.init 101 (fun i -> 1.0 +. (0.01 *. float_of_int i)) in
   let honest = Chord.Model.occupancy_model ~n in
   let rows =
     Array.to_list
-      (Array.map
-         (fun c ->
+      (Pool.parallel_map ?pool colluding_fractions
+         ~f:(fun c ->
            let malicious =
              Chord.Model.occupancy_model
                ~n:(max 2 (int_of_float (Float.round (float_of_int n *. c))))
@@ -76,8 +80,7 @@ let error_rates_table ~n ~colluding_fractions =
              Printf.sprintf "%.2f" gamma;
              Output.cell_pct fp;
              Output.cell_pct fn;
-           ])
-         colluding_fractions)
+           ]))
   in
   {
     Output.title =

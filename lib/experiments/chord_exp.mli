@@ -13,9 +13,22 @@ type point = {
   route_length : float;  (** mean overlay hops, for the log N check *)
 }
 
-val run : seed:int64 -> sizes:int array -> trials:int -> point list
+(** Overlay sizes fan out over the pool, one pre-split PRNG per size. *)
+val run :
+  ?pool:Concilium_util.Pool.t ->
+  seed:int64 ->
+  sizes:int array ->
+  trials:int ->
+  unit ->
+  point list
+
 val occupancy_table : point list -> Output.table
 
-val error_rates_table : n:int -> colluding_fractions:float array -> Output.table
+val error_rates_table :
+  ?pool:Concilium_util.Pool.t ->
+  n:int ->
+  colluding_fractions:float array ->
+  unit ->
+  Output.table
 (** Density-test FP/FN at the optimal gamma when an adversary advertises a
     finger table drawn from its colluders only. *)

@@ -3,6 +3,7 @@ module Routing_table = Concilium_overlay.Routing_table
 module Poisson_binomial = Concilium_stats.Poisson_binomial
 module Descriptive = Concilium_stats.Descriptive
 module Prng = Concilium_util.Prng
+module Pool = Concilium_util.Pool
 
 type point = {
   n : int;
@@ -14,23 +15,33 @@ type point = {
 
 let default_sizes = [| 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 |]
 
-let run ~seed ~sizes ~trials =
+let run ?pool ~seed ~sizes ~trials () =
   let rng = Prng.of_seed seed in
   let slots = float_of_int (Routing_table.rows * Routing_table.columns) in
-  Array.to_list
-    (Array.map
-       (fun n ->
-         let model = Jump_table_model.model ~n in
-         let samples = Jump_table_model.monte_carlo_occupancy ~rng ~n ~trials in
-         let summary = Descriptive.summarize samples in
-         {
-           n;
-           analytic_mean = model.Poisson_binomial.mu_phi /. slots;
-           analytic_std = model.Poisson_binomial.sigma_phi /. slots;
-           monte_carlo_mean = summary.Descriptive.mean;
-           monte_carlo_std = summary.Descriptive.stddev;
-         })
-       sizes)
+  let size_count = Array.length sizes in
+  (* One independent stream per (size, trial), split before dispatch so each
+     Monte Carlo overlay is identical for any domain count; flattening the
+     pairs balances the load (large sizes dominate a per-size split). *)
+  let task_rngs = Prng.split_n rng (size_count * trials) in
+  let samples =
+    Pool.parallel_init ?pool (size_count * trials) ~f:(fun task ->
+        let n = sizes.(task / trials) in
+        let occupancy =
+          Jump_table_model.monte_carlo_occupancy ~rng:task_rngs.(task) ~n ~trials:1
+        in
+        occupancy.(0))
+  in
+  let models = Pool.parallel_map ?pool sizes ~f:(fun n -> Jump_table_model.model ~n) in
+  List.init size_count (fun index ->
+      let model = models.(index) in
+      let summary = Descriptive.summarize (Array.sub samples (index * trials) trials) in
+      {
+        n = sizes.(index);
+        analytic_mean = model.Poisson_binomial.mu_phi /. slots;
+        analytic_std = model.Poisson_binomial.sigma_phi /. slots;
+        monte_carlo_mean = summary.Descriptive.mean;
+        monte_carlo_std = summary.Descriptive.stddev;
+      })
 
 let table points =
   {

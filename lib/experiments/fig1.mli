@@ -9,6 +9,14 @@ type point = {
   monte_carlo_std : float;
 }
 
-val run : seed:int64 -> sizes:int array -> trials:int -> point list
+(** Monte Carlo trials fan out over the pool, one pre-split PRNG per
+    (size, trial) pair: output is identical for any domain count. *)
+val run :
+  ?pool:Concilium_util.Pool.t ->
+  seed:int64 ->
+  sizes:int array ->
+  trials:int ->
+  unit ->
+  point list
 val default_sizes : int array
 val table : point list -> Output.table

@@ -1,4 +1,5 @@
 module Density_test = Concilium_overlay.Density_test
+module Pool = Concilium_util.Pool
 
 type sweep_row = { gamma : float; per_c : (float * Density_test.rates) list }
 type optimal_row = { c : float; best_gamma : float; rates : Density_test.rates }
@@ -7,31 +8,36 @@ type result = { sweep : sweep_row list; optimal : optimal_row list }
 let default_gammas = Array.init 21 (fun i -> 1.0 +. (0.05 *. float_of_int i))
 let default_fractions = [| 0.05; 0.1; 0.15; 0.2; 0.25; 0.3 |]
 
-let run ~n ~suppression ~gammas ~colluding_fractions =
+let run ?pool ~n ~suppression ~gammas ~colluding_fractions () =
   let scenario c = { Density_test.n; colluding_fraction = c; suppression } in
+  (* Pure numeric work: flatten the gamma x c grid so every cell is its own
+     task; results are reassembled in index order, so parallelism cannot
+     change the output. *)
+  let fraction_count = Array.length colluding_fractions in
+  let cells =
+    Pool.parallel_init ?pool
+      (Array.length gammas * fraction_count)
+      ~f:(fun task ->
+        let gamma = gammas.(task / fraction_count) in
+        let c = colluding_fractions.(task mod fraction_count) in
+        (c, Density_test.rates ~gamma (scenario c)))
+  in
   let sweep =
-    Array.to_list
-      (Array.map
-         (fun gamma ->
-           {
-             gamma;
-             per_c =
-               Array.to_list
-                 (Array.map
-                    (fun c -> (c, Density_test.rates ~gamma (scenario c)))
-                    colluding_fractions);
-           })
-         gammas)
+    List.init (Array.length gammas) (fun i ->
+        {
+          gamma = gammas.(i);
+          per_c = Array.to_list (Array.sub cells (i * fraction_count) fraction_count);
+        })
   in
   (* A denser gamma grid for the optimum than for the printed sweep. *)
   let fine_gammas = Array.init 101 (fun i -> 1.0 +. (0.01 *. float_of_int i)) in
   let optimal =
     Array.to_list
-      (Array.map
-         (fun c ->
-           let best_gamma, rates = Density_test.optimal_gamma ~gammas:fine_gammas (scenario c) in
-           { c; best_gamma; rates })
-         colluding_fractions)
+      (Pool.parallel_map ?pool colluding_fractions ~f:(fun c ->
+           let best_gamma, rates =
+             Density_test.optimal_gamma ~gammas:fine_gammas (scenario c)
+           in
+           { c; best_gamma; rates }))
   in
   { sweep; optimal }
 

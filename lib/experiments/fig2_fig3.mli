@@ -16,11 +16,15 @@ type optimal_row = {
 
 type result = { sweep : sweep_row list; optimal : optimal_row list }
 
+(** The gamma x c grid fans out over the pool; the computation is pure, so
+    parallelism cannot affect the result. *)
 val run :
+  ?pool:Concilium_util.Pool.t ->
   n:int ->
   suppression:bool ->
   gammas:float array ->
   colluding_fractions:float array ->
+  unit ->
   result
 
 val default_gammas : float array

@@ -3,6 +3,7 @@ module Graph = Concilium_topology.Graph
 module Tree = Concilium_tomography.Tree
 module Bitset = Concilium_util.Bitset
 module Prng = Concilium_util.Prng
+module Pool = Concilium_util.Pool
 
 type point = {
   trees_included : int;
@@ -11,7 +12,49 @@ type point = {
   hosts : int;
 }
 
-let run ~world ~rng ~host_sample =
+(* Per-host measurement: coverage and voucher averages for every prefix of a
+   randomly ordered peer-tree inclusion. Reads the world, writes nothing
+   shared; safe to run on any domain. *)
+let host_curves world ~link_count ~rng host =
+  let forest = World.forest_links world host in
+  let forest_size = float_of_int (Array.length forest) in
+  if forest_size = 0. then None
+  else begin
+    let peer_count = Array.length world.World.peers.(host) in
+    let coverage = Array.make (peer_count + 1) 0. in
+    let vouchers = Array.make (peer_count + 1) 0. in
+    let covered = Bitset.create link_count in
+    let covered_count = ref 0 in
+    let vouch_total = ref 0 in
+    let include_tree index =
+      Array.iter
+        (fun link ->
+          incr vouch_total;
+          if not (Bitset.mem covered link) then begin
+            Bitset.add covered link;
+            incr covered_count
+          end)
+        (Tree.physical_links world.World.trees.(index))
+    in
+    let record k =
+      coverage.(k) <- float_of_int !covered_count /. forest_size;
+      (* Vouchers averaged over links covered so far. *)
+      let denominator = max 1 !covered_count in
+      vouchers.(k) <- float_of_int !vouch_total /. float_of_int denominator
+    in
+    include_tree host;
+    record 0;
+    let order = Array.copy world.World.peers.(host) in
+    Prng.shuffle rng order;
+    Array.iteri
+      (fun i peer ->
+        include_tree peer;
+        record (i + 1))
+      order;
+    Some (coverage, vouchers)
+  end
+
+let run ?pool ~world ~rng ~host_sample () =
   let graph = world.World.generated.World.Generate.graph in
   let link_count = Graph.link_count graph in
   let node_count = World.node_count world in
@@ -22,46 +65,28 @@ let run ~world ~rng ~host_sample =
       (fun acc host -> max acc (Array.length world.World.peers.(host)))
       0 sampled
   in
+  (* One pre-split stream per sampled host (peer-inclusion order), then fan
+     the hosts out; curves are merged in sample order afterwards, so the
+     sums are identical for any domain count. *)
+  let host_rngs = Prng.split_n rng sample_size in
+  let curves =
+    Pool.parallel_init ?pool sample_size ~f:(fun i ->
+        host_curves world ~link_count ~rng:host_rngs.(i) sampled.(i))
+  in
   let coverage_sum = Array.make (max_peers + 1) 0. in
   let voucher_sum = Array.make (max_peers + 1) 0. in
   let host_count = Array.make (max_peers + 1) 0 in
   Array.iter
-    (fun host ->
-      let forest = World.forest_links world host in
-      let forest_size = float_of_int (Array.length forest) in
-      if forest_size > 0. then begin
-        let covered = Bitset.create link_count in
-        let covered_count = ref 0 in
-        let vouch_total = ref 0 in
-        let include_tree index =
-          Array.iter
-            (fun link ->
-              incr vouch_total;
-              if not (Bitset.mem covered link) then begin
-                Bitset.add covered link;
-                incr covered_count
-              end)
-            (Tree.physical_links world.World.trees.(index))
-        in
-        let record k =
-          coverage_sum.(k) <- coverage_sum.(k) +. (float_of_int !covered_count /. forest_size);
-          (* Vouchers averaged over links covered so far. *)
-          let denominator = max 1 !covered_count in
-          voucher_sum.(k) <-
-            voucher_sum.(k) +. (float_of_int !vouch_total /. float_of_int denominator);
-          host_count.(k) <- host_count.(k) + 1
-        in
-        include_tree host;
-        record 0;
-        let order = Array.copy world.World.peers.(host) in
-        Prng.shuffle rng order;
-        Array.iteri
-          (fun i peer ->
-            include_tree peer;
-            record (i + 1))
-          order
-      end)
-    sampled;
+    (function
+      | None -> ()
+      | Some (coverage, vouchers) ->
+          Array.iteri
+            (fun k c ->
+              coverage_sum.(k) <- coverage_sum.(k) +. c;
+              voucher_sum.(k) <- voucher_sum.(k) +. vouchers.(k);
+              host_count.(k) <- host_count.(k) + 1)
+            coverage)
+    curves;
   List.filter_map
     (fun k ->
       if host_count.(k) = 0 then None

@@ -15,8 +15,15 @@ type point = {
 }
 
 val run :
-  world:World.t -> rng:Concilium_util.Prng.t -> host_sample:int -> point list
+  ?pool:Concilium_util.Pool.t ->
+  world:World.t ->
+  rng:Concilium_util.Prng.t ->
+  host_sample:int ->
+  unit ->
+  point list
 (** Peer trees are included in random order; results average over
-    [host_sample] uniformly chosen hosts (capped at the overlay size). *)
+    [host_sample] uniformly chosen hosts (capped at the overlay size).
+    Hosts fan out over the pool, one pre-split PRNG each, and the per-host
+    curves are merged in sample order. *)
 
 val table : ?max_rows:int -> point list -> Output.table

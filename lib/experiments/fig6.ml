@@ -1,18 +1,22 @@
 module Accusation_model = Concilium_core.Accusation_model
+module Pool = Concilium_util.Pool
 
 type input = { label : string; p_good : float; p_faulty : float }
 type row = { m : int; false_positive : float; false_negative : float }
 type result = { input : input; rows : row list; recommended_m : int option }
 
-let run ~w ~max_m input =
+let run ?pool ~w ~max_m input =
+  (* Pure binomial-tail evaluations, one per m; order restored by index. *)
   let rows =
-    List.init (min max_m w) (fun i ->
-        let m = i + 1 in
-        {
-          m;
-          false_positive = Accusation_model.false_positive ~w ~m ~p_good:input.p_good;
-          false_negative = Accusation_model.false_negative ~w ~m ~p_faulty:input.p_faulty;
-        })
+    Array.to_list
+      (Pool.parallel_init ?pool (min max_m w) ~f:(fun i ->
+           let m = i + 1 in
+           {
+             m;
+             false_positive = Accusation_model.false_positive ~w ~m ~p_good:input.p_good;
+             false_negative =
+               Accusation_model.false_negative ~w ~m ~p_faulty:input.p_faulty;
+           }))
   in
   let recommended_m =
     Accusation_model.smallest_m_below ~w ~p_good:input.p_good ~p_faulty:input.p_faulty

@@ -15,5 +15,5 @@ type result = {
   recommended_m : int option;  (** least m with both rates below 1% *)
 }
 
-val run : w:int -> max_m:int -> input -> result
+val run : ?pool:Concilium_util.Pool.t -> w:int -> max_m:int -> input -> result
 val table : w:int -> result -> Output.table

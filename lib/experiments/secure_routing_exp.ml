@@ -2,28 +2,34 @@ module Pastry = Concilium_overlay.Pastry
 module Secure_routing = Concilium_overlay.Secure_routing
 module Id = Concilium_overlay.Id
 module Prng = Concilium_util.Prng
+module Pool = Concilium_util.Pool
 
 type point = { faulty_fraction : float; standard : float; redundant : float }
 
 let default_fractions = [| 0.0; 0.05; 0.1; 0.15; 0.2; 0.25; 0.3; 0.35; 0.4 |]
 
-let run ~seed ~overlay_size ~trials ~fractions =
+let run ?pool ~seed ~overlay_size ~trials ~fractions () =
   let rng = Prng.of_seed seed in
   let ids = Array.init overlay_size (fun _ -> Id.random rng) in
   let overlay = Pastry.build ids in
-  Array.to_list
-    (Array.map
-       (fun faulty_fraction ->
-         {
-           faulty_fraction;
-           standard =
-             Secure_routing.delivery_probability overlay ~rng ~faulty_fraction ~trials
-               ~mode:`Standard;
-           redundant =
-             Secure_routing.delivery_probability overlay ~rng ~faulty_fraction ~trials
-               ~mode:`Redundant;
-         })
-       fractions)
+  (* Two tasks per fraction (standard and redundant routing), each on its
+     own pre-split stream; rates land back in a fixed (fraction, mode)
+     layout. *)
+  let fraction_count = Array.length fractions in
+  let task_rngs = Prng.split_n rng (2 * fraction_count) in
+  let rates =
+    Pool.parallel_init ?pool (2 * fraction_count) ~f:(fun task ->
+        let faulty_fraction = fractions.(task / 2) in
+        let mode = if task mod 2 = 0 then `Standard else `Redundant in
+        Secure_routing.delivery_probability overlay ~rng:task_rngs.(task) ~faulty_fraction
+          ~trials ~mode)
+  in
+  List.init fraction_count (fun i ->
+      {
+        faulty_fraction = fractions.(i);
+        standard = rates.(2 * i);
+        redundant = rates.((2 * i) + 1);
+      })
 
 let table points =
   {

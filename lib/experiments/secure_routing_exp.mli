@@ -13,8 +13,16 @@ type point = {
   redundant : float;
 }
 
+(** The (fraction, routing mode) pairs fan out over the pool, one pre-split
+    PRNG per pair: output is identical for any domain count. *)
 val run :
-  seed:int64 -> overlay_size:int -> trials:int -> fractions:float array -> point list
+  ?pool:Concilium_util.Pool.t ->
+  seed:int64 ->
+  overlay_size:int ->
+  trials:int ->
+  fractions:float array ->
+  unit ->
+  point list
 
 val default_fractions : float array
 val table : point list -> Output.table

@@ -35,6 +35,10 @@ let basename path = Filename.basename path
    about randomness. *)
 let is_prng_module path = basename path = "prng.ml" || basename path = "prng.mli"
 
+(* The domain pool is the one module allowed to use raw parallelism
+   primitives; everything else goes through its deterministic fan-out. *)
+let is_pool_module path = basename path = "pool.ml" || basename path = "pool.mli"
+
 let in_lib path = in_tree "lib" path
 let in_lib_or_bin path = in_lib path || in_tree "bin" path
 let everywhere _ = true
@@ -153,6 +157,16 @@ let line_rules =
         "assert false marks a partial path; restructure, or suppress with a \
          comment arguing unreachability";
       applies = in_lib_or_bin;
+    };
+    {
+      id = "raw-parallelism";
+      family = Hygiene;
+      severity = Error;
+      pattern = re {|\b\(Domain\.spawn\|Mutex\.create\|Condition\.create\)\b|};
+      message =
+        "raw Domain/Mutex/Condition use outside the pool loses its \
+         determinism contract; fan out via Concilium_util.Pool";
+      applies = (fun path -> not (is_pool_module path));
     };
     {
       id = "tab-indent";

@@ -11,6 +11,11 @@ and t = {
 }
 
 let create ?(start = 0.) () = { clock = start; next_seq = 0; data = [||]; size = 0 }
+
+(* Placeholder stored in vacated slots: a popped event's action closure can
+   capture large world state, and anything left reachable in [data] beyond
+   [size] would never be collected. *)
+let tombstone = { time = neg_infinity; seq = min_int; action = ignore }
 let now t = t.clock
 let pending t = t.size
 
@@ -42,7 +47,9 @@ let rec sift_down t i =
 
 let push t event =
   if t.size = Array.length t.data then begin
-    let grown = Array.make (max 16 (2 * t.size)) event in
+    (* Fill with the tombstone, not [event]: padding slots must not pin the
+       pushed event's closure once it has been popped. *)
+    let grown = Array.make (max 16 (2 * t.size)) tombstone in
     Array.blit t.data 0 grown 0 t.size;
     t.data <- grown
   end;
@@ -59,6 +66,9 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
+    (* Clear the vacated slot so the popped event (and whatever its action
+       closure captures) becomes collectable. *)
+    t.data.(t.size) <- tombstone;
     Some top
   end
 

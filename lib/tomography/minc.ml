@@ -21,8 +21,13 @@ let solve_node ~gamma_k ~child_gammas =
     in
     if g 1. < 0. then 1.
     else begin
+      (* Bisection with an early exit: the bracket starts at most 1 wide, so
+         the tolerance is reached within ~40 halvings; the iteration cap only
+         guards against pathological floating-point stalls. *)
       let lo = ref gamma_k and hi = ref 1. in
-      for _ = 1 to 60 do
+      let iterations = ref 0 in
+      while !hi -. !lo > 1e-12 && !iterations < 60 do
+        incr iterations;
         let mid = 0.5 *. (!lo +. !hi) in
         if g mid < 0. then lo := mid else hi := mid
       done;
@@ -30,7 +35,7 @@ let solve_node ~gamma_k ~child_gammas =
     end
   end
 
-let infer logical ~acked =
+let check_input logical ~acked =
   let rounds = Array.length acked in
   if rounds = 0 then invalid_arg "Minc.infer: no rounds";
   let leaf_count = Logical_tree.leaf_count logical in
@@ -38,20 +43,11 @@ let infer logical ~acked =
     (fun vector ->
       if Array.length vector <> leaf_count then
         invalid_arg "Minc.infer: ack vector width mismatch")
-    acked;
+    acked
+
+(* Shared tail: turn per-node subtree-ack counts into the MLE estimate. *)
+let estimate_of_hits logical ~rounds hits =
   let count = Logical_tree.node_count logical in
-  (* gamma_k: fraction of rounds in which some leaf below k acked. *)
-  let hits = Array.make count 0 in
-  Array.iter
-    (fun vector ->
-      for node = 0 to count - 1 do
-        if
-          Array.exists
-            (fun leaf_index -> vector.(leaf_index))
-            (Logical_tree.descendant_leaves logical node)
-        then hits.(node) <- hits.(node) + 1
-      done)
-    acked;
   let gamma = Array.map (fun h -> float_of_int h /. float_of_int rounds) hits in
   let path_success = Array.make count 1. in
   for node = 0 to count - 1 do
@@ -73,6 +69,54 @@ let infer logical ~acked =
         end)
   in
   { logical; rounds; gamma; path_success; link_success }
+
+(* gamma_k counts rounds in which some leaf below k acked. A single
+   bottom-up sweep per round marks each acked leaf's logical node and
+   propagates the mark to its parent: logical nodes are numbered in
+   physical preorder (children carry larger indices than parents, see
+   Logical_tree.of_tree), so one reverse pass reaches every ancestor.
+   O(rounds * nodes), versus the reference's O(rounds * nodes * leaves). *)
+let infer logical ~acked =
+  check_input logical ~acked;
+  let rounds = Array.length acked in
+  let count = Logical_tree.node_count logical in
+  let leaf_nodes = Logical_tree.leaves logical in
+  let hits = Array.make count 0 in
+  let reached = Array.make count false in
+  Array.iter
+    (fun vector ->
+      Array.fill reached 0 count false;
+      Array.iteri
+        (fun leaf_index node -> if vector.(leaf_index) then reached.(node) <- true)
+        leaf_nodes;
+      for node = count - 1 downto 1 do
+        if reached.(node) then begin
+          hits.(node) <- hits.(node) + 1;
+          reached.(Logical_tree.parent logical node) <- true
+        end
+      done;
+      if reached.(0) then hits.(0) <- hits.(0) + 1)
+    acked;
+  estimate_of_hits logical ~rounds hits
+
+(* The original quadratic-in-tree-size scan, kept verbatim as the oracle the
+   tests and benchmarks compare [infer] against. *)
+let infer_reference logical ~acked =
+  check_input logical ~acked;
+  let rounds = Array.length acked in
+  let count = Logical_tree.node_count logical in
+  let hits = Array.make count 0 in
+  Array.iter
+    (fun vector ->
+      for node = 0 to count - 1 do
+        if
+          Array.exists
+            (fun leaf_index -> vector.(leaf_index))
+            (Logical_tree.descendant_leaves logical node)
+        then hits.(node) <- hits.(node) + 1
+      done)
+    acked;
+  estimate_of_hits logical ~rounds hits
 
 let link_loss estimate node = 1. -. estimate.link_success.(node)
 

@@ -1,0 +1,212 @@
+(* Fixed-size domain pool with deterministic, order-preserving fan-out.
+
+   Workers are spawned once per pool and block on a condition variable until
+   a job arrives. A job is a chunked index range [0, size): workers (and the
+   submitting domain, which participates) repeatedly grab the next chunk
+   under the mutex, run it outside the lock, and decrement the live-index
+   count when done. The submitter waits until every index is accounted for,
+   so all worker writes happen-before the submitter reads the results (the
+   decrement and the wait synchronise on the same mutex).
+
+   Determinism does NOT come from scheduling — chunks run in whatever order
+   domains grab them — but from the contract that task [i] writes only slot
+   [i] of the output and shares no mutable state with other tasks. Callers
+   that need randomness must pre-split one PRNG per task *before* submitting
+   (see Prng.split), which makes output bit-identical for any domain count,
+   including the inline [domains = 1] path. *)
+
+type job = {
+  size : int;
+  chunk : int;
+  mutable next : int;  (* first undispatched index *)
+  mutable live : int;  (* indices (dispatched or not) not yet completed *)
+  run : int -> int -> unit;  (* run [lo, hi) — must only touch its own slots *)
+  mutable failed : exn option;
+}
+
+type t = {
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* signalled on job install and on shutdown *)
+  progress : Condition.t;  (* signalled when a job's live count reaches zero *)
+  mutable job : job option;
+  mutable generation : int;  (* bumped on every install; lets workers spot new jobs *)
+  mutable shutting_down : bool;
+  mutable workers : unit Domain.t list;
+  mutable active : int list;  (* (Domain.id :> int) of domains inside a chunk *)
+  domain_count : int;
+}
+
+let domain_count t = t.domain_count
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* ---------- Chunk execution (shared by workers and the submitter) ---------- *)
+
+(* Take the next chunk of [job] under [t.mutex]; [None] when exhausted. *)
+let take_chunk job =
+  if job.next >= job.size then None
+  else begin
+    let lo = job.next in
+    let hi = min job.size (lo + job.chunk) in
+    job.next <- hi;
+    Some (lo, hi)
+  end
+
+(* Run one chunk outside the lock; record completion (or failure) inside it.
+   On failure the undispatched tail is cancelled so the job still completes;
+   chunks already in flight on other domains finish on their own. Only one
+   job is ever in flight, so when its live count reaches zero the installed
+   job is necessarily this one and can be cleared. *)
+let run_chunk t job lo hi =
+  let self = (Domain.self () :> int) in
+  Mutex.lock t.mutex;
+  t.active <- self :: t.active;
+  Mutex.unlock t.mutex;
+  let outcome = try Ok (job.run lo hi) with e -> Error e in
+  Mutex.lock t.mutex;
+  t.active <- List.filter (fun id -> id <> self) t.active;
+  (match outcome with
+  | Ok () -> job.live <- job.live - (hi - lo)
+  | Error e ->
+      if job.failed = None then job.failed <- Some e;
+      let cancelled = job.size - job.next in
+      job.next <- job.size;
+      job.live <- job.live - (hi - lo) - cancelled);
+  if job.live = 0 then begin
+    t.job <- None;
+    Condition.broadcast t.progress
+  end;
+  Mutex.unlock t.mutex
+
+(* Grab and run chunks until the job's queue is exhausted. *)
+let drain t job =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.mutex;
+    let chunk = take_chunk job in
+    Mutex.unlock t.mutex;
+    match chunk with
+    | Some (lo, hi) -> run_chunk t job lo hi
+    | None -> continue := false
+  done
+
+let worker_loop t () =
+  let seen_generation = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while t.generation = !seen_generation && not t.shutting_down do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.shutting_down then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen_generation := t.generation;
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      match job with Some job -> drain t job | None -> ()
+    end
+  done
+
+(* ---------- Lifecycle ---------- *)
+
+let create ?domains () =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  if domains < 1 then invalid_arg "Pool.create: need at least one domain";
+  let t =
+    {
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      progress = Condition.create ();
+      job = None;
+      generation = 0;
+      shutting_down = false;
+      workers = [];
+      active = [];
+      domain_count = domains;
+    }
+  in
+  (* The submitter participates, so [domains - 1] spawned workers give
+     [domains] executing domains in total. *)
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutting_down <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ---------- Fan-out ---------- *)
+
+(* Is the current domain already executing a task of this pool? Submitting
+   from inside a task would wait on the in-flight job that the submission
+   itself is part of — a deadlock when the calling domain is the one the
+   outer job is waiting for — so nested fan-out must run inline instead. *)
+let in_task t =
+  let self = (Domain.self () :> int) in
+  Mutex.lock t.mutex;
+  let inside = List.mem self t.active in
+  Mutex.unlock t.mutex;
+  inside
+
+let sequential_init n ~f = Array.init n f
+
+let raise_first_failure job =
+  match job.failed with Some e -> raise e | None -> ()
+
+let pooled_init t n ~f =
+  let out = Array.make n None in
+  let run lo hi =
+    for i = lo to hi - 1 do
+      out.(i) <- Some (f i)
+    done
+  in
+  (* Chunks are a few times smaller than a fair share so an unlucky domain
+     stuck with a slow task does not serialise the tail. *)
+  let chunk = max 1 (n / (t.domain_count * 8)) in
+  let job = { size = n; chunk; next = 0; live = n; run; failed = None } in
+  Mutex.lock t.mutex;
+  while t.job <> None && not t.shutting_down do
+    Condition.wait t.progress t.mutex
+  done;
+  if t.shutting_down then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.parallel_init: pool is shut down"
+  end;
+  t.job <- Some job;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  drain t job;
+  Mutex.lock t.mutex;
+  while job.live > 0 do
+    Condition.wait t.progress t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  raise_first_failure job;
+  Array.map
+    (function
+      | Some v -> v
+      | None -> invalid_arg "Pool.parallel_init: missing result (task did not run)")
+    out
+
+let parallel_init ?pool n ~f =
+  if n < 0 then invalid_arg "Pool.parallel_init: negative size";
+  match pool with
+  | None -> sequential_init n ~f
+  | Some t ->
+      (* A task that itself fans out must not block on the shared queue:
+         nested submissions (and single-domain pools) run inline. *)
+      if t.domain_count <= 1 || n <= 1 || in_task t then sequential_init n ~f
+      else pooled_init t n ~f
+
+let parallel_map ?pool xs ~f = parallel_init ?pool (Array.length xs) ~f:(fun i -> f xs.(i))

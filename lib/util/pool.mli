@@ -1,0 +1,49 @@
+(** Fixed-size domain pool with deterministic, order-preserving fan-out.
+
+    All parallelism in Concilium flows through this module (enforced by the
+    [raw-parallelism] lint rule): a pool owns a fixed set of worker domains
+    fed from a mutex/condition chunk queue, and {!parallel_map} /
+    {!parallel_init} return results in input order regardless of which
+    domain computed what.
+
+    Determinism contract: task [i] must write only its own result (no shared
+    mutable state between tasks), and any randomness must come from a PRNG
+    pre-split per task {e before} dispatch ({!Prng.split}). Under that
+    contract output is bit-identical for every domain count, including the
+    inline sequential path. *)
+
+type t
+(** A pool of worker domains. The creating domain participates in every
+    fan-out, so a pool created with [~domains:n] runs tasks on [n] domains
+    in total. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains. [domains]
+    defaults to {!default_domains}. Raises [Invalid_argument] if
+    [domains < 1]. *)
+
+val shutdown : t -> unit
+(** Joins all worker domains. Idempotent. Submitting to a shut-down pool
+    raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] over a fresh pool and shuts it down afterwards,
+    also on exception. *)
+
+val domain_count : t -> int
+(** Total executing domains (workers plus the submitter). *)
+
+val default_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count ())]. *)
+
+val parallel_init : ?pool:t -> int -> f:(int -> 'a) -> 'a array
+(** [parallel_init ?pool n ~f] is [Array.init n f] with the calls fanned out
+    across the pool's domains; the result array is in index order. Without
+    [?pool] (or with a single-domain pool) it runs inline. The first
+    exception raised by any task is re-raised after the remaining in-flight
+    tasks finish; the undispatched tail is cancelled. Nested calls from
+    inside a task run inline rather than deadlocking on the shared queue. *)
+
+val parallel_map : ?pool:t -> 'a array -> f:('a -> 'b) -> 'b array
+(** [parallel_map ?pool xs ~f] maps [f] over [xs] with the same semantics as
+    {!parallel_init}; [f xs.(i)] lands at slot [i]. *)

@@ -45,6 +45,16 @@ let split t =
   let seed = int64 t in
   of_seed seed
 
+(* Index order is guaranteed by the explicit loop (Array.init's evaluation
+   order is unspecified, which matters for a side-effecting [split]). *)
+let split_n t n =
+  if n < 0 then invalid_arg "Prng.split_n: negative count";
+  let out = Array.make n t in
+  for i = 0 to n - 1 do
+    out.(i) <- split t
+  done;
+  out
+
 let int t n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling over the top bits to avoid modulo bias. *)

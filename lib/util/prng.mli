@@ -20,6 +20,12 @@ val split : t -> t
 (** [split t] returns a new generator statistically independent of [t].
     Both generators advance independently afterwards. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] draws [n] independent generators from [t] in index order:
+    the per-task streams for deterministic parallel fan-out (pre-split
+    before dispatching to {!Pool} so output is independent of the domain
+    count). Raises [Invalid_argument] on negative [n]. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

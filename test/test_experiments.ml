@@ -9,7 +9,7 @@ let check = Alcotest.check
 let world_fixture = lazy (World.build (World.tiny_config ~seed:77L))
 
 let test_fig1_model_tracks_monte_carlo () =
-  let points = E.Fig1.run ~seed:1L ~sizes:[| 256; 1024 |] ~trials:12 in
+  let points = E.Fig1.run ~seed:1L ~sizes:[| 256; 1024 |] ~trials:12 () in
   check Alcotest.int "two points" 2 (List.length points);
   List.iter
     (fun p ->
@@ -20,7 +20,7 @@ let test_fig1_model_tracks_monte_carlo () =
     points
 
 let test_fig1_occupancy_grows_with_n () =
-  let points = E.Fig1.run ~seed:2L ~sizes:[| 128; 2048 |] ~trials:8 in
+  let points = E.Fig1.run ~seed:2L ~sizes:[| 128; 2048 |] ~trials:8 () in
   match points with
   | [ small; large ] ->
       check Alcotest.bool "more nodes, denser tables" true
@@ -30,7 +30,7 @@ let test_fig1_occupancy_grows_with_n () =
 let test_fig2_rates_shape () =
   let result =
     E.Fig2_fig3.run ~n:20_000 ~suppression:false ~gammas:[| 1.0; 1.3; 1.6 |]
-      ~colluding_fractions:[| 0.1; 0.3 |]
+      ~colluding_fractions:[| 0.1; 0.3 |] ()
   in
   (* False negatives increase with both gamma and c. *)
   let fn gamma_index c_index =
@@ -43,7 +43,7 @@ let test_fig2_rates_shape () =
 
 let test_fig3_worse_than_fig2 () =
   let run suppression =
-    E.Fig2_fig3.run ~n:20_000 ~suppression ~gammas:[| 1.2 |] ~colluding_fractions:[| 0.2 |]
+    E.Fig2_fig3.run ~n:20_000 ~suppression ~gammas:[| 1.2 |] ~colluding_fractions:[| 0.2 |] ()
   in
   let total result =
     let o = List.hd result.E.Fig2_fig3.optimal in
@@ -55,7 +55,7 @@ let test_fig3_worse_than_fig2 () =
 let test_fig4_coverage_monotone () =
   let world = Lazy.force world_fixture in
   let rng = Prng.of_seed 3L in
-  let points = E.Fig4.run ~world ~rng ~host_sample:10 in
+  let points = E.Fig4.run ~world ~rng ~host_sample:10 () in
   check Alcotest.bool "has points" true (List.length points > 2);
   let coverages = List.map (fun p -> p.E.Fig4.mean_coverage) points in
   let rec non_decreasing = function
@@ -71,7 +71,7 @@ let test_fig4_coverage_monotone () =
 let test_fig4_vouchers_grow () =
   let world = Lazy.force world_fixture in
   let rng = Prng.of_seed 4L in
-  let points = E.Fig4.run ~world ~rng ~host_sample:10 in
+  let points = E.Fig4.run ~world ~rng ~host_sample:10 () in
   let first = List.hd points and last = List.nth points (List.length points - 1) in
   check Alcotest.bool "vouching peers increase" true
     (last.E.Fig4.mean_vouchers > first.E.Fig4.mean_vouchers)
@@ -131,7 +131,7 @@ let test_fig6_recommends_m () =
     worse.E.Fig6.recommended_m
 
 let test_bandwidth_tables () =
-  let tables = E.Bandwidth_exp.run ~sizes:[| 1000; 100_000 |] in
+  let tables = E.Bandwidth_exp.run ~sizes:[| 1000; 100_000 |] () in
   check Alcotest.int "two tables" 2 (List.length tables);
   check Alcotest.bool "sweep has rows" true
     (List.length (List.nth tables 1).E.Output.rows = 2)
@@ -153,7 +153,7 @@ let test_baselines_concilium_wins () =
   | _ -> Alcotest.fail "expected three rows"
 
 let test_chord_exp_model_tracks_mc () =
-  let points = E.Chord_exp.run ~seed:5L ~sizes:[| 256; 1024 |] ~trials:8 in
+  let points = E.Chord_exp.run ~seed:5L ~sizes:[| 256; 1024 |] ~trials:8 () in
   List.iter
     (fun p ->
       let gap = abs_float (p.E.Chord_exp.analytic_mean -. p.E.Chord_exp.monte_carlo_mean) in
@@ -162,7 +162,7 @@ let test_chord_exp_model_tracks_mc () =
 
 let test_ablation_self_exclusion_matters () =
   let world = Lazy.force world_fixture in
-  let table = E.Ablations.self_exclusion ~world ~samples:1200 ~seed:31L in
+  let table = E.Ablations.self_exclusion ~world ~samples:1200 ~seed:31L () in
   (* Row format: [label; innocent guilty; faulty guilty; ...]. The rule-ON
      faulty-guilty rate must exceed rule-OFF (liars dodge blame). *)
   match table.E.Output.rows with

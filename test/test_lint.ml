@@ -147,6 +147,16 @@ let test_suppression_scope () =
   let wrong_rule = "(* lint: allow option-get *)\nlet x = List.hd xs\n" in
   check_fires "list-partial" wrong_rule
 
+let test_raw_parallelism_rule () =
+  check_fires "raw-parallelism" "let d = Domain.spawn work\n";
+  check_fires "raw-parallelism" "let m = Mutex.create ()\n";
+  check_fires "raw-parallelism" "let c = Condition.create ()\n";
+  (* The pool is the one module allowed to build on the raw primitives. *)
+  check_clean ~path:"lib/util/pool.ml" "raw-parallelism" "let d = Domain.spawn work\n";
+  (* Reading domain metadata is fine; only spawning is fenced. *)
+  check_clean "raw-parallelism" "let n = Domain.recommended_domain_count ()\n";
+  check_clean "raw-parallelism" "let r = Pool.parallel_map ~pool xs ~f\n"
+
 let test_formatting_rules () =
   check_fires "trailing-whitespace" ("let x = 1" ^ "  " ^ "\nlet y = 2\n");
   check_fires "tab-indent" ("let x =\n" ^ "\t1\n");
@@ -250,6 +260,7 @@ let suites =
       ] );
     ( "lint.hygiene",
       [
+        test_case "raw parallelism fenced into the pool" `Quick test_raw_parallelism_rule;
         test_case "formatting rules" `Quick test_formatting_rules;
         test_case "dune hardened flags" `Quick test_dune_flags_rule;
         test_case "mli coverage" `Quick test_missing_mli_detection;

@@ -1,0 +1,133 @@
+(* The domain pool: order preservation, failure propagation, nesting, and
+   the end-to-end guarantee the experiments rely on — identical output for
+   any domain count. *)
+
+module Pool = Concilium_util.Pool
+module Prng = Concilium_util.Prng
+module World = Concilium_core.World
+module E = Concilium_experiments
+
+let check = Alcotest.check
+
+let test_map_preserves_order () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let xs = Array.init 1000 (fun i -> i) in
+      let doubled = Pool.parallel_map ~pool xs ~f:(fun x -> 2 * x) in
+      check (Alcotest.array Alcotest.int) "slot i holds f xs.(i)"
+        (Array.map (fun x -> 2 * x) xs)
+        doubled)
+
+let test_init_matches_sequential () =
+  let f i = (i * 7919) mod 104729 in
+  let sequential = Array.init 500 f in
+  Pool.with_pool ~domains:3 (fun pool ->
+      check (Alcotest.array Alcotest.int) "parallel_init = Array.init" sequential
+        (Pool.parallel_init ~pool 500 ~f));
+  (* Without a pool the inline path must agree too. *)
+  check (Alcotest.array Alcotest.int) "no pool = Array.init" sequential
+    (Pool.parallel_init 500 ~f)
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      check Alcotest.int "empty" 0 (Array.length (Pool.parallel_init ~pool 0 ~f:(fun i -> i)));
+      check (Alcotest.array Alcotest.int) "singleton" [| 42 |]
+        (Pool.parallel_init ~pool 1 ~f:(fun _ -> 42)))
+
+let test_exception_propagates () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.check_raises "task failure surfaces to the submitter"
+        (Invalid_argument "task 137") (fun () ->
+          ignore
+            (Pool.parallel_init ~pool 400 ~f:(fun i ->
+                 if i = 137 then invalid_arg "task 137" else i)));
+      (* The pool survives a failed job and accepts the next one. *)
+      check Alcotest.int "pool still works" 100
+        (Array.length (Pool.parallel_init ~pool 100 ~f:(fun i -> i))))
+
+let test_nested_submission_runs_inline () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let rows =
+        Pool.parallel_init ~pool 8 ~f:(fun i ->
+            (* Fanning out from inside a task must not deadlock; it runs
+               inline on the submitting domain. *)
+            Pool.parallel_init ~pool 8 ~f:(fun j -> (8 * i) + j))
+      in
+      let flat = Array.concat (Array.to_list rows) in
+      check (Alcotest.array Alcotest.int) "nested results correct"
+        (Array.init 64 (fun k -> k))
+        flat)
+
+let test_shutdown_rejects_new_work () =
+  let pool = Pool.create ~domains:2 () in
+  check Alcotest.int "accepts work while live" 10
+    (Array.length (Pool.parallel_init ~pool 10 ~f:(fun i -> i)));
+  Pool.shutdown pool;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.parallel_init: pool is shut down") (fun () ->
+      ignore (Pool.parallel_init ~pool 10 ~f:(fun i -> i)))
+
+(* ---------- Determinism across domain counts ---------- *)
+
+(* The experiments' contract: pre-split PRNGs mean the SAME numbers come out
+   however many domains execute the tasks. Run real experiment drivers under
+   1 and 4 domains and demand exact equality. *)
+
+let fig1_points ~domains =
+  Pool.with_pool ~domains (fun pool ->
+      E.Fig1.run ~pool ~seed:7L ~sizes:[| 128; 512 |] ~trials:6 ())
+
+let test_fig1_domain_count_invariant () =
+  let one = fig1_points ~domains:1 and four = fig1_points ~domains:4 in
+  List.iter2
+    (fun (a : E.Fig1.point) (b : E.Fig1.point) ->
+      check Alcotest.int "size" a.E.Fig1.n b.E.Fig1.n;
+      check (Alcotest.float 0.) "mc mean" a.E.Fig1.monte_carlo_mean b.E.Fig1.monte_carlo_mean;
+      check (Alcotest.float 0.) "mc std" a.E.Fig1.monte_carlo_std b.E.Fig1.monte_carlo_std)
+    one four
+
+let world_fixture = lazy (World.build (World.tiny_config ~seed:88L))
+
+let fig4_points ~domains =
+  let world = Lazy.force world_fixture in
+  Pool.with_pool ~domains (fun pool ->
+      E.Fig4.run ~pool ~world ~rng:(Prng.of_seed 11L) ~host_sample:8 ())
+
+let test_fig4_domain_count_invariant () =
+  let one = fig4_points ~domains:1 and four = fig4_points ~domains:4 in
+  check Alcotest.int "same point count" (List.length one) (List.length four);
+  List.iter2
+    (fun (a : E.Fig4.point) (b : E.Fig4.point) ->
+      check Alcotest.int "k" a.E.Fig4.trees_included b.E.Fig4.trees_included;
+      check (Alcotest.float 0.) "coverage" a.E.Fig4.mean_coverage b.E.Fig4.mean_coverage;
+      check (Alcotest.float 0.) "vouchers" a.E.Fig4.mean_vouchers b.E.Fig4.mean_vouchers;
+      check Alcotest.int "hosts" a.E.Fig4.hosts b.E.Fig4.hosts)
+    one four
+
+let test_split_n_is_prefix_stable () =
+  (* split_n must be the explicit in-order split sequence: drawing more
+     streams never perturbs the ones already drawn. *)
+  let streams n = Array.map Prng.int64 (Prng.split_n (Prng.of_seed 123L) n) in
+  let five = streams 5 and nine = streams 9 in
+  check (Alcotest.array Alcotest.int64) "first five agree" five (Array.sub nine 0 5)
+
+let suites =
+  [
+    ( "util.pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+        Alcotest.test_case "init matches sequential" `Quick test_init_matches_sequential;
+        Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+        Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+        Alcotest.test_case "nested submission runs inline" `Quick
+          test_nested_submission_runs_inline;
+        Alcotest.test_case "shutdown rejects new work" `Quick test_shutdown_rejects_new_work;
+      ] );
+    ( "util.pool.determinism",
+      [
+        Alcotest.test_case "fig1 invariant under domain count" `Quick
+          test_fig1_domain_count_invariant;
+        Alcotest.test_case "fig4 invariant under domain count" `Slow
+          test_fig4_domain_count_invariant;
+        Alcotest.test_case "split_n prefix-stable" `Quick test_split_n_is_prefix_stable;
+      ] );
+  ]

@@ -382,6 +382,49 @@ let prop_minc_recovers_random_losses =
          done;
          !ok))
 
+(* Property: the single-sweep [Minc.infer] and the retained
+   O(rounds * nodes * leaves) reference produce identical estimates on
+   arbitrary random trees and ack matrices. Gamma comes from integer hit
+   counts in both, so equality is exact, not approximate. *)
+let prop_minc_matches_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"MINC sweep matches reference oracle" ~count:40
+       QCheck.(int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Prng.of_seed (Int64.of_int seed) in
+         (* Random rooted tree: router i > 0 hangs off a random earlier
+            router, so parent indices always precede children. *)
+         let n = 4 + Prng.int rng 37 in
+         let b = Graph.Builder.create n in
+         let has_child = Array.make n false in
+         for i = 1 to n - 1 do
+           let parent = Prng.int rng i in
+           has_child.(parent) <- true;
+           Graph.Builder.add_link b parent i
+         done;
+         let g = Graph.build b in
+         let leaves =
+           Array.of_list
+             (List.filter (fun i -> not has_child.(i)) (List.init n (fun i -> i)))
+         in
+         let path target =
+           match Routes.shortest_path g ~source:0 ~target with
+           | Some p -> p
+           | None -> invalid_arg "random tree is connected by construction"
+         in
+         let tree = Tree.of_paths ~root:0 ~paths:(Array.map path leaves) in
+         let logical = Logical_tree.of_tree tree in
+         let leaf_count = Logical_tree.leaf_count logical in
+         let rounds = 1 + Prng.int rng 50 in
+         let acked =
+           Array.init rounds (fun _ -> Array.init leaf_count (fun _ -> Prng.bool rng))
+         in
+         let fast = Minc.infer logical ~acked in
+         let reference = Minc.infer_reference logical ~acked in
+         fast.Minc.gamma = reference.Minc.gamma
+         && fast.Minc.path_success = reference.Minc.path_success
+         && fast.Minc.link_success = reference.Minc.link_success))
+
 let suites =
   [
     ( "tomography.tree",
@@ -407,6 +450,7 @@ let suites =
     ( "tomography.minc",
       [
         prop_minc_recovers_random_losses;
+        prop_minc_matches_reference;
         Alcotest.test_case "lossless tree" `Quick test_minc_lossless;
         Alcotest.test_case "recovers a lossy interior link" `Quick test_minc_recovers_lossy_link;
         Alcotest.test_case "suspect link extraction" `Quick test_minc_suspect_links;
