@@ -238,6 +238,26 @@ let validation_bench =
      let signature = Concilium_crypto.Pki.sign secret "bench-payload" in
      ignore (Concilium_crypto.Pki.verify pki cert.Concilium_crypto.Pki.subject_key "bench-payload" signature))
 
+let chaos_bench =
+  Test.make ~name:"netsim:chaos-sample+compile"
+    (Staged.stage @@ fun () ->
+     (* The per-scenario setup cost of the soak runner: draw a busy fault
+        plan over an hour and compile it onto a fresh engine. *)
+     let module Engine = Concilium_netsim.Engine in
+     let module Link_state = Concilium_netsim.Link_state in
+     let module Chaos = Concilium_netsim.Chaos in
+     let plan =
+       Chaos.sample ~rng:(Prng.of_seed 14L) ~config:Chaos.paper_rates
+         ~links:(Array.init 500 Fun.id) ~nodes:100
+         ~cuts:[| Array.init 10 Fun.id |]
+         ~horizon:3600.
+     in
+     let engine = Engine.create () in
+     let link_state = Link_state.create ~link_count:500 ~good_loss:0.001 ~bad_loss:1. in
+     let chaos = Chaos.compile ~engine ~link_state plan in
+     Engine.run engine;
+     ignore (Chaos.node_online chaos ~time:1800. 0))
+
 let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
 
 let benchmark () =
@@ -262,6 +282,7 @@ let benchmark () =
       chord_route_bench;
       secure_routing_bench;
       validation_bench;
+      chaos_bench;
     ]
   in
   let instances = Instance.[ monotonic_clock ] in

@@ -1,0 +1,379 @@
+(* Seeded chaos soak runner: execute a matrix of fault scenarios over the
+   full protocol runtime and check machine-readable invariants --
+
+     - no scenario raises an uncaught exception;
+     - every message produces an outcome before the engine drains;
+     - every undelivered message ends in a stewardship resolution or an
+       explicit Insufficient_evidence degradation;
+     - honest nodes incur zero formal accusations.
+
+   The transcript (stdout) is deterministic JSON: scenario plans are
+   sampled from pre-split PRNGs before any parallel fan-out, so the bytes
+   are identical for any --domains value. CI diffs --domains 1 vs 2. *)
+
+module World = Concilium_core.World
+module Protocol = Concilium_core.Protocol
+module Stewardship = Concilium_core.Stewardship
+module Dht = Concilium_core.Dht
+module Engine = Concilium_netsim.Engine
+module Link_state = Concilium_netsim.Link_state
+module Chaos = Concilium_netsim.Chaos
+module Churn = Concilium_netsim.Churn
+module Graph = Concilium_topology.Graph
+module Routes = Concilium_topology.Routes
+module Id = Concilium_overlay.Id
+module Prng = Concilium_util.Prng
+module Pool = Concilium_util.Pool
+
+type scenario = {
+  name : string;
+  chaos : Chaos.config;
+  dropper_fraction : float;
+  drop_probability : float;
+  churn : bool;
+  messages : int;
+  duration : float;
+}
+
+let base ~name ~chaos =
+  {
+    name;
+    chaos;
+    dropper_fraction = 0.;
+    drop_probability = 0.;
+    churn = false;
+    messages = 30;
+    duration = 3600.;
+  }
+
+let small_matrix =
+  [
+    base ~name:"quiet" ~chaos:Chaos.quiet;
+    base ~name:"flaps"
+      ~chaos:
+        {
+          Chaos.quiet with
+          Chaos.link_flaps_per_hour = 8.;
+          flap_mean_duration = 150.;
+          bursts_per_hour = 2.;
+          burst_width = 3;
+          burst_mean_duration = 180.;
+        };
+    base ~name:"partition"
+      ~chaos:
+        {
+          Chaos.quiet with
+          Chaos.partitions_per_hour = 1.5;
+          partition_mean_duration = 240.;
+          link_flaps_per_hour = 4.;
+          flap_mean_duration = 120.;
+        };
+    base ~name:"crashes"
+      ~chaos:
+        {
+          Chaos.quiet with
+          Chaos.crashes_per_hour = 4.;
+          crash_mean_duration = 240.;
+          replica_losses_per_hour = 2.;
+        };
+    base ~name:"control-plane"
+      ~chaos:
+        {
+          Chaos.quiet with
+          Chaos.delays_per_hour = 3.;
+          delay_mean_duration = 400.;
+          delay_extra = 8.;
+          duplications_per_hour = 3.;
+          duplication_mean_duration = 400.;
+          duplication_copies = 3;
+        };
+    {
+      (base ~name:"mixed" ~chaos:Chaos.default_config) with
+      dropper_fraction = 0.1;
+      drop_probability = 0.8;
+      churn = true;
+    };
+  ]
+
+let full_matrix =
+  small_matrix
+  @ [
+      { (base ~name:"paper-intensity" ~chaos:Chaos.paper_rates) with messages = 60 };
+      {
+        (base ~name:"everything" ~chaos:Chaos.paper_rates) with
+        dropper_fraction = 0.15;
+        drop_probability = 0.9;
+        churn = true;
+        messages = 60;
+        duration = 5400.;
+      };
+    ]
+
+(* ---------- One scenario run ---------- *)
+
+type tally = {
+  mutable delivered : int;
+  mutable retransmitted : int;  (* delivered or not, needed > 1 attempt *)
+  mutable diagnosed_node : int;
+  mutable diagnosed_network : int;
+  mutable diagnosed_offline : int;
+  mutable diagnosed_none : int;  (* resolution with no final target *)
+  mutable degraded : int;  (* explicit Insufficient_evidence *)
+  mutable unresolved : int;  (* undelivered without any diagnosis: violation *)
+  mutable missing : int;  (* no outcome at all: violation *)
+  mutable flagged_no_commitment : int;
+}
+
+type run_result = {
+  scenario : scenario;
+  faults : (string * int) list;
+  tally : tally;
+  honest_accusations : int;
+  failure : string option;  (* uncaught exception, if any *)
+}
+
+(* A cut that separates the low-index half of the overlay from the
+   high-index half: links used by some cross-side peer path but by no
+   same-side one. *)
+let build_cuts world =
+  let n = World.node_count world in
+  let side v = v < n / 2 in
+  let paths = ref [] in
+  Array.iteri
+    (fun v peers ->
+      Array.iteri
+        (fun i peer ->
+          match world.World.peer_paths.(v).(i) with
+          | Some path -> paths := (side v, side peer, path.Routes.links) :: !paths
+          | None -> ())
+        peers)
+    world.World.peers;
+  let cut = Chaos.cut_of_paths ~paths:(List.rev !paths) in
+  if Array.length cut = 0 then [||] else [| cut |]
+
+let run_scenario ~seed ~index ~rng scenario =
+  let tally =
+    {
+      delivered = 0;
+      retransmitted = 0;
+      diagnosed_node = 0;
+      diagnosed_network = 0;
+      diagnosed_offline = 0;
+      diagnosed_none = 0;
+      degraded = 0;
+      unresolved = 0;
+      missing = 0;
+      flagged_no_commitment = 0;
+    }
+  in
+  try
+    let world_seed = Int64.add seed (Int64.of_int (1009 * (index + 1))) in
+    let world = World.build (World.tiny_config ~seed:world_seed) in
+    let graph = world.World.generated.World.Generate.graph in
+    let node_count = World.node_count world in
+    let link_count = Graph.link_count graph in
+    let engine = Engine.create () in
+    let link_state =
+      Link_state.create ~link_count ~good_loss:0.001 ~bad_loss:1.
+    in
+    let plan =
+      Chaos.sample ~rng:(Prng.split rng) ~config:scenario.chaos
+        ~links:(Array.init link_count Fun.id) ~nodes:node_count ~cuts:(build_cuts world)
+        ~horizon:scenario.duration
+    in
+    (* The Dht exists only after Protocol.create; Replica_loss events fire
+       later, during the engine run, so a forward reference suffices. *)
+    let dht_ref = ref None in
+    let chaos =
+      Chaos.compile
+        ~on_replica_loss:(fun ~node ~time:_ ->
+          match !dht_ref with Some dht -> Dht.drop_replica dht ~node | None -> ())
+        ~engine ~link_state plan
+    in
+    let churn_timeline =
+      if scenario.churn then
+        Some
+          (Churn.generate ~rng:(Prng.split rng) ~config:Churn.default_config
+             ~hosts:node_count ~duration:scenario.duration)
+      else None
+    in
+    let availability ~time v =
+      (match churn_timeline with
+      | Some timeline -> Churn.is_online timeline ~host:v ~time
+      | None -> true)
+      && Chaos.node_online chaos ~time v
+    in
+    let dropper_count =
+      int_of_float (Float.round (scenario.dropper_fraction *. float_of_int node_count))
+    in
+    let dropper_picks = Prng.sample_without_replacement rng dropper_count node_count in
+    let is_dropper = Array.make node_count false in
+    Array.iter (fun v -> is_dropper.(v) <- true) dropper_picks;
+    let behavior v =
+      if is_dropper.(v) then Protocol.Message_dropper scenario.drop_probability
+      else Protocol.Honest
+    in
+    let protocol =
+      Protocol.create ~world ~engine ~link_state ~rng:(Prng.split rng) ~availability
+        ~control_latency:(fun ~time -> Chaos.control_latency chaos ~time)
+        ~put_copies:(fun ~time -> Chaos.put_copies chaos ~time)
+        Protocol.default_config ~behavior
+    in
+    dht_ref := Some (Protocol.dht protocol);
+    Protocol.start_probing protocol ~horizon:scenario.duration;
+    let outcomes = Array.make scenario.messages None in
+    let message_rng = Prng.split rng in
+    let warm = 0.1 *. scenario.duration in
+    let span = scenario.duration -. 500. -. warm in
+    for i = 0 to scenario.messages - 1 do
+      let at = warm +. (span *. float_of_int i /. float_of_int (max 1 scenario.messages)) in
+      Engine.schedule_at engine ~time:at (fun _ ->
+          let from = Prng.int message_rng node_count in
+          let dest = Id.random message_rng in
+          Protocol.send_message protocol ~from ~dest ~payload:"soak"
+            ~on_outcome:(fun outcome -> outcomes.(i) <- Some outcome))
+    done;
+    (* Run past the horizon so the last judgments (drop + Delta + injected
+       control latency, after retransmits) flush. *)
+    Engine.run_until engine (scenario.duration +. 900.);
+    Array.iter
+      (fun outcome ->
+        match outcome with
+        | None -> tally.missing <- tally.missing + 1
+        | Some o ->
+            if o.Protocol.attempts > 1 then tally.retransmitted <- tally.retransmitted + 1;
+            if o.Protocol.no_commitment_from <> None then
+              tally.flagged_no_commitment <- tally.flagged_no_commitment + 1;
+            if o.Protocol.delivered then tally.delivered <- tally.delivered + 1
+            else begin
+              match o.Protocol.diagnosis with
+              | None -> tally.unresolved <- tally.unresolved + 1
+              | Some (Protocol.Insufficient_evidence _) -> tally.degraded <- tally.degraded + 1
+              | Some (Protocol.Diagnosed resolution) -> (
+                  match resolution.Stewardship.final with
+                  | Some (Stewardship.Next_hop _) ->
+                      tally.diagnosed_node <- tally.diagnosed_node + 1
+                  | Some Stewardship.Network ->
+                      tally.diagnosed_network <- tally.diagnosed_network + 1
+                  | Some (Stewardship.Offline _) ->
+                      tally.diagnosed_offline <- tally.diagnosed_offline + 1
+                  | None -> tally.diagnosed_none <- tally.diagnosed_none + 1)
+            end)
+      outcomes;
+    (* Formal accusations naming honest nodes: read every replica (ignoring
+       availability -- the records are durable) and count. *)
+    let honest_accusations = ref 0 in
+    let dht = Protocol.dht protocol in
+    for v = 0 to node_count - 1 do
+      if not is_dropper.(v) then begin
+        let hops = ref 0 in
+        let named =
+          Dht.get dht ~from:0 ~accused_key:(World.public_key_of world v) ~hops ()
+        in
+        honest_accusations := !honest_accusations + List.length named
+      end
+    done;
+    {
+      scenario;
+      faults = Chaos.fault_counts plan;
+      tally;
+      honest_accusations = !honest_accusations;
+      failure = None;
+    }
+  with e ->
+    { scenario; faults = []; tally; honest_accusations = 0; failure = Some (Printexc.to_string e) }
+
+(* ---------- Transcript ---------- *)
+
+let scenario_passed r =
+  r.failure = None && r.tally.missing = 0 && r.tally.unresolved = 0
+  && r.honest_accusations = 0
+
+let emit_json buf ~matrix ~seed results =
+  let add fmt = Printf.bprintf buf fmt in
+  add "{\n  \"matrix\": %S,\n  \"seed\": %Ld,\n  \"scenarios\": [\n" matrix seed;
+  List.iteri
+    (fun i r ->
+      let t = r.tally in
+      add "    {\n      \"name\": %S,\n" r.scenario.name;
+      add "      \"faults\": {";
+      List.iteri
+        (fun j (family, count) ->
+          add "%s\"%s\": %d" (if j = 0 then "" else ", ") family count)
+        r.faults;
+      add "},\n";
+      add "      \"sent\": %d,\n" r.scenario.messages;
+      add "      \"delivered\": %d,\n" t.delivered;
+      add "      \"retransmitted\": %d,\n" t.retransmitted;
+      add "      \"diagnosed_node\": %d,\n" t.diagnosed_node;
+      add "      \"diagnosed_network\": %d,\n" t.diagnosed_network;
+      add "      \"diagnosed_offline\": %d,\n" t.diagnosed_offline;
+      add "      \"diagnosed_no_target\": %d,\n" t.diagnosed_none;
+      add "      \"degraded_insufficient_evidence\": %d,\n" t.degraded;
+      add "      \"flagged_no_commitment\": %d,\n" t.flagged_no_commitment;
+      add "      \"unresolved\": %d,\n" t.unresolved;
+      add "      \"missing_outcomes\": %d,\n" t.missing;
+      add "      \"honest_accusations\": %d,\n" r.honest_accusations;
+      (match r.failure with
+      | None -> add "      \"exception\": null,\n"
+      | Some msg -> add "      \"exception\": %S,\n" msg);
+      add "      \"pass\": %b\n" (scenario_passed r);
+      add "    }%s\n" (if i = List.length results - 1 then "" else ","))
+    results;
+  add "  ],\n  \"pass\": %b\n}\n" (List.for_all scenario_passed results)
+
+let run matrix seed domains =
+  let scenarios =
+    match matrix with
+    | "small" -> small_matrix
+    | "full" -> full_matrix
+    | other ->
+        Printf.eprintf "unknown matrix %S (expected small or full)\n" other;
+        exit 2
+  in
+  (* Pre-split every scenario's PRNG before the fan-out: the transcript is
+     byte-identical for any --domains value. *)
+  let master = Prng.of_seed seed in
+  let rngs = Prng.split_n master (List.length scenarios) in
+  let indexed = Array.of_list (List.mapi (fun i s -> (i, s)) scenarios) in
+  let results =
+    Pool.with_pool ?domains (fun pool ->
+        Pool.parallel_map ~pool indexed ~f:(fun (i, s) ->
+            run_scenario ~seed ~index:i ~rng:rngs.(i) s))
+  in
+  let results = Array.to_list results in
+  let buf = Buffer.create 4096 in
+  emit_json buf ~matrix ~seed results;
+  print_string (Buffer.contents buf);
+  List.iter
+    (fun r ->
+      Printf.eprintf "scenario %-16s %s\n" r.scenario.name
+        (if scenario_passed r then "ok"
+         else
+           Printf.sprintf "FAILED (missing=%d unresolved=%d honest_accusations=%d%s)"
+             r.tally.missing r.tally.unresolved r.honest_accusations
+             (match r.failure with None -> "" | Some m -> " exception=" ^ m)))
+    results;
+  if List.for_all scenario_passed results then 0 else 1
+
+open Cmdliner
+
+let matrix =
+  Arg.(
+    value & opt string "small"
+    & info [ "matrix" ] ~docv:"MATRIX" ~doc:"Scenario matrix: small (CI) or full.")
+
+let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let domains =
+  let doc =
+    "Domains for the scenario fan-out (default: recommended count; 1 = sequential). The \
+     transcript is byte-identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "Chaos soak: run fault scenarios against the protocol runtime, check invariants" in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ matrix $ seed $ domains)
+
+let () = exit (Cmd.eval' cmd)

@@ -26,6 +26,8 @@ type stats = {
 let describe_target world = function
   | Stewardship.Network -> "the IP network"
   | Stewardship.Next_hop v -> Printf.sprintf "node %d (%s)" v (Id.to_hex (World.id_of world v))
+  | Stewardship.Offline v ->
+      Printf.sprintf "node %d (%s, offline)" v (Id.to_hex (World.id_of world v))
 
 let run seed duration messages dropper_fraction drop_probability churn verbose =
   if verbose then begin
@@ -103,24 +105,29 @@ let run seed duration messages dropper_fraction drop_probability churn verbose =
             else begin
               let truth = outcome.Protocol.drop in
               match outcome.Protocol.diagnosis with
-              | None | Some { Stewardship.final = None; _ } ->
+              | None
+              | Some (Protocol.Diagnosed { Stewardship.final = None; _ })
+              | Some (Protocol.Insufficient_evidence _) ->
                   stats.undiagnosed <- stats.undiagnosed + 1
-              | Some { Stewardship.final = Some target; _ } -> (
+              | Some (Protocol.Diagnosed { Stewardship.final = Some target; _ }) -> (
                   let correct =
                     match (target, truth) with
                     | Stewardship.Next_hop v, Some (Protocol.Dropped_by_overlay d) -> v = d
                     | Stewardship.Network, Some (Protocol.Dropped_on_ip_link _)
                     | Stewardship.Network, Some (Protocol.Ack_lost_on_link _) ->
                         true
-                    | Stewardship.Next_hop v, Some (Protocol.Hop_offline d) ->
-                        (* Blaming an unreachable hop is defensible: it did
-                           fail its duty, if through absence. *)
+                    | ( (Stewardship.Next_hop v | Stewardship.Offline v),
+                        Some (Protocol.Hop_offline d) ) ->
+                        (* Identifying the unreachable hop is the right
+                           answer, whether or not absence is treated as a
+                           fault. *)
                         v = d
                     | _ -> false
                   in
                   if correct then begin
                     match target with
-                    | Stewardship.Next_hop _ -> stats.correct_node <- stats.correct_node + 1
+                    | Stewardship.Next_hop _ | Stewardship.Offline _ ->
+                        stats.correct_node <- stats.correct_node + 1
                     | Stewardship.Network -> stats.correct_network <- stats.correct_network + 1
                   end
                   else stats.wrong <- stats.wrong + 1;

@@ -65,15 +65,23 @@ let describe route outcome =
   | Some (Protocol.Hop_offline v) -> Printf.printf "  ground truth: node %d was offline\n" v
   | None -> print_endline "  ground truth: delivered");
   match outcome.Protocol.diagnosis with
-  | Some { Stewardship.final = Some (Stewardship.Next_hop blamed); exonerated; _ } ->
+  | Some
+      (Protocol.Diagnosed
+        { Stewardship.final = Some (Stewardship.Next_hop blamed); exonerated; _ }) ->
       Printf.printf "  verdict: node %d is at fault\n" blamed;
       if exonerated <> [] then
         Printf.printf "  exonerated via pushed-up revisions: %s\n"
           (String.concat ", " (List.map string_of_int exonerated))
-  | Some { Stewardship.final = Some Stewardship.Network; exonerated; _ } ->
+  | Some (Protocol.Diagnosed { Stewardship.final = Some Stewardship.Network; exonerated; _ })
+    ->
       print_endline "  verdict: the IP network is at fault";
       if exonerated <> [] then
         Printf.printf "  exonerated: %s\n" (String.concat ", " (List.map string_of_int exonerated))
+  | Some (Protocol.Diagnosed { Stewardship.final = Some (Stewardship.Offline v); _ }) ->
+      Printf.printf "  verdict: node %d was offline; nobody misbehaved\n" v
+  | Some (Protocol.Insufficient_evidence { judge; usable_rounds; required_rounds }) ->
+      Printf.printf "  verdict: degraded -- judge %d gathered %d/%d usable rounds\n" judge
+        usable_rounds required_rounds
   | _ -> print_endline "  verdict: none (insufficient evidence)"
 
 let run_scenario title behavior prepare =

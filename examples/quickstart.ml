@@ -53,13 +53,15 @@ let () =
       if outcome.Protocol.delivered then print_endline "delivered (unexpected!)"
       else begin
         match outcome.Protocol.diagnosis with
-        | Some { Stewardship.final = Some (Stewardship.Next_hop blamed); exonerated; _ } ->
+        | Some
+            (Protocol.Diagnosed
+              { Stewardship.final = Some (Stewardship.Next_hop blamed); exonerated; _ }) ->
             Printf.printf "Concilium blames node %d (ground truth: %d) %s\n" blamed culprit
               (if blamed = culprit then "-- correct" else "-- WRONG");
             if exonerated <> [] then
               Printf.printf "exonerated by recursive revision: %s\n"
                 (String.concat ", " (List.map string_of_int exonerated))
-        | Some { Stewardship.final = Some Stewardship.Network; _ } ->
+        | Some (Protocol.Diagnosed { Stewardship.final = Some Stewardship.Network; _ }) ->
             print_endline "Concilium blames the IP network"
         | _ -> print_endline "no diagnosis"
       end);

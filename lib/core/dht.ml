@@ -23,7 +23,10 @@ let create ~pastry ~replication =
 let key_of_public_key public_key =
   Id.of_name ("accusation-key|" ^ Pki.public_key_to_string public_key)
 
-let replica_nodes t ~key =
+(* Root first, then the root's leaf-set members by ring proximity to the
+   key: the full candidate ordering that failover walks when replicas are
+   down. *)
+let replica_candidates t ~key =
   let root = Pastry.numerically_closest t.pastry key in
   let root_node = Pastry.node t.pastry root in
   let neighbors =
@@ -31,7 +34,6 @@ let replica_nodes t ~key =
       (fun id -> Pastry.index_of_id t.pastry id)
       (Leaf_set.members root_node.Pastry.leaf_set)
   in
-  (* Root first, then leaf-set members by ring proximity to the key. *)
   let by_distance =
     List.sort
       (fun a b ->
@@ -40,11 +42,16 @@ let replica_nodes t ~key =
           (Id.ring_distance (Pastry.node t.pastry b).Pastry.id key))
       (List.filter (fun n -> n <> root) neighbors)
   in
-  let rec take n = function
-    | [] -> []
-    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
-  in
-  root :: take (t.replication - 1) by_distance
+  root :: by_distance
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+
+let replica_nodes t ~key = take t.replication (replica_candidates t ~key)
+
+let live_replicas t ~key ~alive =
+  take t.replication (List.filter alive (replica_candidates t ~key))
 
 let record_key accusation =
   let body = Signed.payload accusation in
@@ -56,29 +63,46 @@ let route_hops t ~from ~target =
   let dest = (Pastry.node t.pastry target).Pastry.id in
   max 0 (List.length (Pastry.route t.pastry ~from ~dest) - 1)
 
-let put t ~from ~accused_key accusation ~hops =
+let put t ~from ?(alive = fun _ -> true) ?(copies = 1) ~accused_key accusation ~hops =
   let key = key_of_public_key accused_key in
   let record = record_key accusation in
-  List.iter
-    (fun replica ->
-      hops := !hops + route_hops t ~from ~target:replica;
-      Hashtbl.replace t.stores.(replica) record (key, accusation))
-    (replica_nodes t ~key)
+  (* Failover: when the root (or any closer replica) is dead, the write
+     lands on the next-closest live candidates so [replication] surviving
+     copies exist whenever enough of the leaf set is up. Each duplicated
+     delivery re-pays routing hops but is absorbed by the idempotence
+     key. *)
+  let replicas = live_replicas t ~key ~alive in
+  for _ = 1 to max 1 copies do
+    List.iter
+      (fun replica ->
+        hops := !hops + route_hops t ~from ~target:replica;
+        Hashtbl.replace t.stores.(replica) record (key, accusation))
+      replicas
+  done
 
-let get t ~from ~accused_key ~hops =
+let get t ~from ?(alive = fun _ -> true) ~accused_key ~hops () =
   let key = key_of_public_key accused_key in
-  match replica_nodes t ~key with
+  match live_replicas t ~key ~alive with
   | [] -> []
-  | replica :: _ ->
-      hops := !hops + route_hops t ~from ~target:replica;
-      (* The store is keyed by idempotence record; sort on it so callers see
-         accusations in a hash-seed-independent order. *)
-      Hashtbl.fold
-        (fun record (stored_key, accusation) acc ->
-          if Id.equal stored_key key then (record, accusation) :: acc else acc)
-        t.stores.(replica) []
+  | (first :: _) as replicas ->
+      hops := !hops + route_hops t ~from ~target:first;
+      (* Merge across the surviving replicas: a replica that lost its store
+         (or missed a write while down) degrades the read only if every
+         survivor lost the record. The store is keyed by idempotence
+         record; sorting on it makes the result hash-seed-independent. *)
+      let merged = Hashtbl.create 8 in
+      List.iter
+        (fun replica ->
+          Hashtbl.iter
+            (fun record (stored_key, accusation) ->
+              if Id.equal stored_key key then Hashtbl.replace merged record accusation)
+            t.stores.(replica))
+        replicas;
+      Hashtbl.fold (fun record accusation acc -> (record, accusation) :: acc) merged []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
       |> List.map snd
+
+let drop_replica t ~node = Hashtbl.reset t.stores.(node)
 
 let stored_count t ~node = Hashtbl.length t.stores.(node)
 

@@ -24,13 +24,41 @@ val replica_nodes : t -> key:Id.t -> int list
     leaf-set members, [replication] in total. *)
 
 val put :
-  t -> from:int -> accused_key:Pki.public_key -> Accusation.t -> hops:int ref -> unit
+  t ->
+  from:int ->
+  ?alive:(int -> bool) ->
+  ?copies:int ->
+  accused_key:Pki.public_key ->
+  Accusation.t ->
+  hops:int ref ->
+  unit
 (** Route the accusation from node [from] to every replica of the accused's
     key, storing it there; duplicate accusations (same accuser, accused,
-    drop time) are idempotent. [hops] accumulates overlay hops consumed. *)
+    drop time) are idempotent. [hops] accumulates overlay hops consumed.
 
-val get : t -> from:int -> accused_key:Pki.public_key -> hops:int ref -> Accusation.t list
-(** Fetch accusations for a public key via the first reachable replica. *)
+    [alive] (default: everyone) filters the replica set: dead candidates
+    are skipped and the write fails over to the next-closest live leaf-set
+    members, keeping [replication] surviving copies whenever enough of the
+    leaf set is up. [copies] > 1 models control-plane duplication: the
+    whole put is delivered that many times — hops are re-paid, stored state
+    is unchanged (idempotence). *)
+
+val get :
+  t ->
+  from:int ->
+  ?alive:(int -> bool) ->
+  accused_key:Pki.public_key ->
+  hops:int ref ->
+  unit ->
+  Accusation.t list
+(** Fetch accusations for a public key, merged across the live replicas
+    ([alive] defaults to everyone): a replica that lost its store degrades
+    the read only if every survivor lost the record too. Hops are metered
+    to the closest live replica. *)
+
+val drop_replica : t -> node:int -> unit
+(** The node loses its entire store (disk loss, chaos injection). Later
+    puts repopulate it; reads fail over to surviving replicas. *)
 
 val stored_count : t -> node:int -> int
 (** Number of records a node holds (for storage-balance checks). *)

@@ -26,9 +26,15 @@ type config = {
   window_size : int;
   accusation_m : int;
   max_probe_time : float;
+  probe_backoff_cap : float;
   dht_replication : int;
   heavyweight_rounds : int;
   heavyweight_loss_threshold : float;
+  min_heavyweight_rounds : int;
+  retry_limit : int;
+  retry_base_delay : float;
+  retry_backoff : float;
+  evidence_ttl : float;
 }
 
 let default_config =
@@ -37,19 +43,30 @@ let default_config =
     window_size = 100;
     accusation_m = 6;
     max_probe_time = 120.;
+    probe_backoff_cap = 4.;
     dht_replication = 4;
     heavyweight_rounds = 50;
     heavyweight_loss_threshold = 0.3;
+    min_heavyweight_rounds = 10;
+    retry_limit = 2;
+    retry_base_delay = 1.;
+    retry_backoff = 2.;
+    evidence_ttl = Float.infinity;
   }
 
 let probe_packet_bytes = 30 (* IP + UDP headers + 16-bit nonce, Section 4.4 *)
 
+type diagnosis =
+  | Diagnosed of Stewardship.resolution
+  | Insufficient_evidence of { judge : int; usable_rounds : int; required_rounds : int }
+
 type outcome = {
   message_id : string;
   delivered : bool;
+  attempts : int;
   route : int list;
   drop : drop option;
-  diagnosis : Stewardship.resolution option;
+  diagnosis : diagnosis option;
   no_commitment_from : int option;
 }
 
@@ -67,6 +84,8 @@ type t = {
   config : config;
   behavior : int -> behavior;
   availability : time:float -> int -> bool;
+  control_latency : time:float -> float;
+  put_copies : time:float -> int;
   observations : Observation.t;
   windows : (int * int, Accusation.evidence Verdict_window.t) Hashtbl.t;
   dht : Dht.t;
@@ -76,8 +95,8 @@ type t = {
   mutable message_seq : int;
 }
 
-let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> true) config
-    ~behavior =
+let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> true)
+    ?(control_latency = fun ~time:_ -> 0.) ?(put_copies = fun ~time:_ -> 1) config ~behavior =
   {
     world;
     engine;
@@ -86,6 +105,8 @@ let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> tru
     config;
     behavior;
     availability;
+    control_latency;
+    put_copies;
     observations = Observation.create ();
     windows = Hashtbl.create 256;
     dht = Dht.create ~pastry:world.World.pastry ~replication:config.dht_replication;
@@ -166,13 +187,27 @@ let run_probe_round t v =
   t.control_bytes.(v) <-
     t.control_bytes.(v)
     + (leaf_count * probe_packet_bytes)
-    + (peer_count * (header_and_signature + (advert_entries * entry_bytes)))
+    + (peer_count * (header_and_signature + (advert_entries * entry_bytes)));
+  (* A totally silent round (every ack timed out) drives the caller's
+     probe backoff; any ack resets it. *)
+  Array.exists Fun.id round.Probing.acked
 
 (* Heavyweight tomography (Section 3.2): fired when application messages go
    unacknowledged. Many striped rounds, MINC inference, and per-link
-   up/down observations at the inferred-loss threshold. *)
-let run_heavyweight_burst t v =
-  if t.config.heavyweight_rounds > 0 then begin
+   up/down observations at the inferred-loss threshold.
+
+   The burst notionally spans [now, now + rounds * spacing): a judge that
+   crashes or churns out mid-burst loses the remaining rounds. Returns the
+   number of usable rounds; when that falls below the configured floor, no
+   observations are recorded at all — a starved estimate is worse than an
+   honest abstention. Observations are stamped at [stamp] (the blame-window
+   edge), so chaos-injected control delay cannot push the evidence outside
+   the window it was gathered for. *)
+let heavyweight_round_spacing = 1.0
+
+let run_heavyweight_burst t v ~stamp =
+  if t.config.heavyweight_rounds <= 0 then 0
+  else begin
     let tree = t.world.World.trees.(v) in
     let logical = t.world.World.logical.(v) in
     let now = Engine.now t.engine in
@@ -184,43 +219,49 @@ let run_heavyweight_burst t v =
       | Some peer when not (t.availability ~time:now peer) -> Probing.Suppress_acks 1.0
       | Some _ | None -> Probing.Honest
     in
-    let rounds =
-      Probing.probe_rounds ~rng:t.rng ~loss_of_link ~tree ~behavior
-        ~count:t.config.heavyweight_rounds ()
-    in
-    let estimate = Concilium_tomography.Minc.infer_from_rounds logical rounds in
-    let flip = match t.behavior v with Probe_flipper -> true | _ -> false in
-    (* Offline leaves' chains carry no information (Section 3.2's
-       disambiguation): skip them. *)
-    let skip = Array.make (Logical_tree.node_count logical) false in
-    Array.iteri
-      (fun leaf_index logical_node ->
-        let router = Concilium_tomography.Tree.router_of tree leaves.(leaf_index) in
-        match World.node_of_router t.world router with
-        | Some peer when not (t.availability ~time:now peer) -> skip.(logical_node) <- true
-        | Some _ | None -> ())
-      (Logical_tree.leaves logical);
-    for node = 1 to Logical_tree.node_count logical - 1 do
-      (* Only chains the estimator actually saw data for. *)
-      if
-        (not skip.(node))
-        && estimate.Concilium_tomography.Minc.gamma.(Logical_tree.parent logical node) > 0.
-      then begin
-        let up =
-          Concilium_tomography.Minc.link_loss estimate node
-          < t.config.heavyweight_loss_threshold
-        in
-        let up = if flip then not up else up in
-        Array.iter
-          (fun link ->
-            Observation.record t.observations
-              { Observation.time = now; prober = v; link; up })
-          (Logical_tree.chain logical node)
-      end
+    let rounds = ref [] in
+    for r = 0 to t.config.heavyweight_rounds - 1 do
+      let round_time = now +. (float_of_int r *. heavyweight_round_spacing) in
+      if t.availability ~time:round_time v then
+        rounds := Probing.probe_round ~rng:t.rng ~loss_of_link ~tree ~behavior () :: !rounds
     done;
-    t.control_bytes.(v) <-
-      t.control_bytes.(v)
-      + (t.config.heavyweight_rounds * Array.length leaves * probe_packet_bytes)
+    let usable = List.length !rounds in
+    t.control_bytes.(v) <- t.control_bytes.(v) + (usable * Array.length leaves * probe_packet_bytes);
+    let required = min t.config.min_heavyweight_rounds t.config.heavyweight_rounds in
+    if usable >= required && usable > 0 then begin
+      let rounds = Array.of_list (List.rev !rounds) in
+      let estimate = Concilium_tomography.Minc.infer_from_rounds logical rounds in
+      let flip = match t.behavior v with Probe_flipper -> true | _ -> false in
+      (* Offline leaves' chains carry no information (Section 3.2's
+         disambiguation): skip them. *)
+      let skip = Array.make (Logical_tree.node_count logical) false in
+      Array.iteri
+        (fun leaf_index logical_node ->
+          let router = Concilium_tomography.Tree.router_of tree leaves.(leaf_index) in
+          match World.node_of_router t.world router with
+          | Some peer when not (t.availability ~time:now peer) -> skip.(logical_node) <- true
+          | Some _ | None -> ())
+        (Logical_tree.leaves logical);
+      for node = 1 to Logical_tree.node_count logical - 1 do
+        (* Only chains the estimator actually saw data for. *)
+        if
+          (not skip.(node))
+          && estimate.Concilium_tomography.Minc.gamma.(Logical_tree.parent logical node) > 0.
+        then begin
+          let up =
+            Concilium_tomography.Minc.link_loss estimate node
+            < t.config.heavyweight_loss_threshold
+          in
+          let up = if flip then not up else up in
+          Array.iter
+            (fun link ->
+              Observation.record t.observations
+                { Observation.time = stamp; prober = v; link; up })
+            (Logical_tree.chain logical node)
+        end
+      done
+    end;
+    usable
   end
 
 (* ---------- Routing-state advertisement and validation (Section 3.1) ---------- *)
@@ -324,11 +365,20 @@ let mean_control_bytes_per_second t ~horizon =
 
 let start_probing t ~horizon =
   for v = 0 to World.node_count t.world - 1 do
+    (* Probe-timeout backoff: a tree that answers nothing (partition, mass
+       churn) is re-probed at a multiplicatively backed-off cadence, capped
+       so the prober still notices recovery. Any ack resets it. *)
+    let backoff = ref 1. in
     let rec loop engine =
       if Engine.now engine < horizon then begin
         (* Offline hosts issue no probes this round but keep their timer. *)
-        if t.availability ~time:(Engine.now engine) v then run_probe_round t v;
-        let delay = Probing.schedule_jitter ~rng:t.rng ~max_probe_time:t.config.max_probe_time in
+        if t.availability ~time:(Engine.now engine) v then begin
+          if run_probe_round t v then backoff := 1.
+          else backoff := Float.min (!backoff *. 2.) (Float.max 1. t.config.probe_backoff_cap)
+        end;
+        let delay =
+          !backoff *. Probing.schedule_jitter ~rng:t.rng ~max_probe_time:t.config.max_probe_time
+        in
         if Engine.now engine +. delay < horizon then Engine.schedule engine ~delay loop
       end
     in
@@ -375,7 +425,12 @@ let gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment =
   in
   { Accusation.path_links = links; link_votes; drop_time; commitment }
 
-let judge_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
+(* Phase A of a judgment: compute the verdict and archive-ready evidence
+   without touching any window. Windows are only charged (phase B, below)
+   after the revision chain has had its say, so a downstream exoneration
+   reaches the judge's books instead of silently accruing guilt against an
+   honest forwarder. *)
+let evaluate_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
   let blame =
     Blame.blame t.config.blame ~observations:t.observations ~links ~drop_time
       ~exclude_prober:suspect ~visible:(visible_to t judge) ()
@@ -384,9 +439,17 @@ let judge_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
   Log.debug (fun m ->
       m "node %d judges %d: blame %.3f -> %a" judge suspect blame Blame.pp_verdict verdict);
   let evidence = gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment in
+  (verdict, blame, evidence)
+
+(* Phase B: charge the verdict window and escalate to a formal accusation
+   when it crosses m. Evidence past its re-verification TTL is expired
+   first; publication fails over across the accused key's live DHT
+   replicas. *)
+let record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time =
   let window = window_for t ~judge ~suspect in
   Verdict_window.record window { Verdict_window.verdict; blame; drop_time; evidence };
-  (* Escalate to a formal accusation when the window crosses m. *)
+  if Float.is_finite t.config.evidence_ttl then
+    Verdict_window.expire window ~before:(drop_time -. t.config.evidence_ttl);
   if
     (match verdict with Blame.Guilty -> true | Blame.Innocent -> false)
     && Verdict_window.should_accuse window ~m:t.config.accusation_m
@@ -416,15 +479,17 @@ let judge_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
               suspect
               (Verdict_window.guilty_count window));
         let hops = ref 0 in
+        let time = Engine.now t.engine in
         Dht.put t.dht ~from:judge
+          ~alive:(fun node -> t.availability ~time node)
+          ~copies:(t.put_copies ~time)
           ~accused_key:(World.public_key_of t.world suspect)
           accusation ~hops
     | exception Invalid_argument _ ->
         (* The archived evidence no longer clears the threshold (probe data
            may have aged out of the window); the accusation is not filed. *)
         ()
-  end;
-  (verdict, blame)
+  end
 
 let guilty_count t ~judge ~suspect =
   match Hashtbl.find_opt t.windows (judge, suspect) with
@@ -433,7 +498,11 @@ let guilty_count t ~judge ~suspect =
 
 let fetch_accusations t ~from ~accused =
   let hops = ref 0 in
-  Dht.get t.dht ~from ~accused_key:(World.public_key_of t.world accused) ~hops
+  let time = Engine.now t.engine in
+  Dht.get t.dht ~from
+    ~alive:(fun node -> t.availability ~time node)
+    ~accused_key:(World.public_key_of t.world accused)
+    ~hops ()
 
 (* ---------- Message lifecycle ---------- *)
 
@@ -466,186 +535,273 @@ let send_message t ~from ~dest ~payload ~on_outcome =
   let route = World.overlay_route t.world ~from ~dest in
   let hops = Array.of_list route in
   let hop_count = Array.length hops in
-  let now = Engine.now t.engine in
-  (* Walk the route, recording each hop's fate. *)
-  let fates =
-    Array.map (fun _ -> { received = false; committed = false; forwarded = false }) hops
-  in
-  fates.(0) <- { received = true; committed = true; forwarded = true };
-  let drop = ref None in
-  let commitments = Hashtbl.create 8 in
-  let index = ref 0 in
-  while !drop = None && !index < hop_count - 1 do
-    let i = !index in
-    let a = hops.(i) and b = hops.(i + 1) in
-    (* Does a (for i > 0, a forwarder) actually forward? *)
-    let a_forwards =
-      i = 0
-      ||
-      match t.behavior a with
-      | Message_dropper p -> not (Prng.bernoulli t.rng p)
-      | Silent_dropper -> false
-      | Honest | Probe_flipper | Commitment_refuser | Sparse_advertiser _ -> true
+  (* One delivery attempt: walk the route, recording each hop's fate. The
+     message id is stable across retransmits, so every attempt's
+     commitments name the same message. *)
+  let rec attempt n =
+    let now = Engine.now t.engine in
+    let fates =
+      Array.map (fun _ -> { received = false; committed = false; forwarded = false }) hops
     in
-    if not a_forwards then begin
-      fates.(i) <- { (fates.(i)) with forwarded = false };
-      drop := Some (Dropped_by_overlay a)
-    end
-    else begin
-      fates.(i) <- { (fates.(i)) with forwarded = true };
-      match World.ip_path t.world ~from_node:a ~to_node:b with
-      | None -> drop := Some (Dropped_by_overlay a) (* should not happen *)
-      | Some path -> (
-          match transmit_over_path t path with
-          | Error link -> drop := Some (Dropped_on_ip_link link)
-          | Ok () when not (t.availability ~time:now b) -> drop := Some (Hop_offline b)
-          | Ok () ->
-              fates.(i + 1) <- { (fates.(i + 1)) with received = true };
-              let refuses =
-                match t.behavior b with
-                | Commitment_refuser | Silent_dropper -> true
-                | Honest | Message_dropper _ | Probe_flipper | Sparse_advertiser _ -> false
-              in
-              if not refuses then begin
-                fates.(i + 1) <- { (fates.(i + 1)) with committed = true };
-                let commitment =
-                  Commitment.issue
-                    ~forwarder:(World.id_of t.world b)
-                    ~secret:t.world.World.secrets.(b)
-                    ~public:(World.public_key_of t.world b)
-                    ~sender:(World.id_of t.world a) ~destination:dest ~message_id ~now
-                in
-                Hashtbl.replace commitments b commitment
-              end;
-              incr index)
-    end
-  done;
-  (* Ack travels the reverse path when the destination received. *)
-  let delivered_to_root = !drop = None in
-  let ack_ok = ref delivered_to_root in
-  if delivered_to_root then begin
-    let rec ack_walk i =
-      (* ack hop: hops.(i+1) -> hops.(i). Peer relations are asymmetric, so
-         the known route is the forward one; the ack retraces its physical
-         links in reverse (per-link loss is direction-agnostic here). *)
-      if i < 0 then ()
+    fates.(0) <- { received = true; committed = true; forwarded = true };
+    let drop = ref None in
+    let commitments = Hashtbl.create 8 in
+    let index = ref 0 in
+    while !drop = None && !index < hop_count - 1 do
+      let i = !index in
+      let a = hops.(i) and b = hops.(i + 1) in
+      (* Does a (for i > 0, a forwarder) actually forward? *)
+      let a_forwards =
+        i = 0
+        ||
+        match t.behavior a with
+        | Message_dropper p -> not (Prng.bernoulli t.rng p)
+        | Silent_dropper -> false
+        | Honest | Probe_flipper | Commitment_refuser | Sparse_advertiser _ -> true
+      in
+      if not a_forwards then begin
+        fates.(i) <- { (fates.(i)) with forwarded = false };
+        drop := Some (Dropped_by_overlay a)
+      end
       else begin
-        match World.ip_path t.world ~from_node:hops.(i) ~to_node:hops.(i + 1) with
-        | None -> ack_walk (i - 1)
+        fates.(i) <- { (fates.(i)) with forwarded = true };
+        match World.ip_path t.world ~from_node:a ~to_node:b with
+        | None -> drop := Some (Dropped_by_overlay a) (* should not happen *)
         | Some path -> (
             match transmit_over_path t path with
-            | Ok () -> ack_walk (i - 1)
-            | Error link ->
-                ack_ok := false;
-                drop := Some (Ack_lost_on_link link))
+            | Error link -> drop := Some (Dropped_on_ip_link link)
+            | Ok () when not (t.availability ~time:now b) -> drop := Some (Hop_offline b)
+            | Ok () ->
+                fates.(i + 1) <- { (fates.(i + 1)) with received = true };
+                let refuses =
+                  match t.behavior b with
+                  | Commitment_refuser | Silent_dropper -> true
+                  | Honest | Message_dropper _ | Probe_flipper | Sparse_advertiser _ -> false
+                in
+                if not refuses then begin
+                  fates.(i + 1) <- { (fates.(i + 1)) with committed = true };
+                  let commitment =
+                    Commitment.issue
+                      ~forwarder:(World.id_of t.world b)
+                      ~secret:t.world.World.secrets.(b)
+                      ~public:(World.public_key_of t.world b)
+                      ~sender:(World.id_of t.world a) ~destination:dest ~message_id ~now
+                  in
+                  Hashtbl.replace commitments b commitment
+                end;
+                incr index)
       end
+    done;
+    (* Ack travels the reverse path when the destination received. *)
+    let delivered_to_root = !drop = None in
+    let ack_ok = ref delivered_to_root in
+    if delivered_to_root then begin
+      let rec ack_walk i =
+        (* ack hop: hops.(i+1) -> hops.(i). Peer relations are asymmetric, so
+           the known route is the forward one; the ack retraces its physical
+           links in reverse (per-link loss is direction-agnostic here). *)
+        if i < 0 then ()
+        else begin
+          match World.ip_path t.world ~from_node:hops.(i) ~to_node:hops.(i + 1) with
+          | None -> ack_walk (i - 1)
+          | Some path -> (
+              match transmit_over_path t path with
+              | Ok () -> ack_walk (i - 1)
+              | Error link ->
+                  ack_ok := false;
+                  drop := Some (Ack_lost_on_link link))
+        end
+      in
+      ack_walk (hop_count - 2)
+    end;
+    if !ack_ok then
+      on_outcome
+        {
+          message_id;
+          delivered = true;
+          attempts = n + 1;
+          route;
+          drop = None;
+          diagnosis = None;
+          no_commitment_from = None;
+        }
+    else if n < t.config.retry_limit then begin
+      (* Ack timeout: retransmit after bounded exponential backoff. Any
+         chaos-injected control latency stretches the timer too. *)
+      let delay =
+        (t.config.retry_base_delay *. (t.config.retry_backoff ** float_of_int n))
+        +. t.control_latency ~time:now
+      in
+      Engine.schedule t.engine ~delay (fun _ -> attempt (n + 1))
+    end
+    else diagnose ~attempts:(n + 1) ~drop_time:now ~fates ~commitments ~drop:!drop
+  and diagnose ~attempts ~drop_time ~fates ~commitments ~drop =
+    (* Retries exhausted: every steward that saw the final attempt judges
+       its next hop once the probe window closes. *)
+    let judge_at =
+      drop_time +. t.config.blame.Blame.delta +. t.control_latency ~time:drop_time
     in
-    ack_walk (hop_count - 2)
-  end;
-  if !ack_ok then
-    on_outcome
-      {
-        message_id;
-        delivered = true;
-        route;
-        drop = None;
-        diagnosis = None;
-        no_commitment_from = None;
-      }
-  else begin
-    (* No acknowledgment: every steward that saw the message judges its next
-       hop once the probe window closes. *)
-    let judge_at = now +. t.config.blame.Blame.delta in
     Engine.schedule_at t.engine ~time:judge_at (fun _ ->
-        let judgments = Hashtbl.create 8 in
-        let no_commitment = ref None in
+        let jt = Engine.now t.engine in
+        let stamp = drop_time +. t.config.blame.Blame.delta in
+        let required = min t.config.min_heavyweight_rounds t.config.heavyweight_rounds in
         (* A missing ack triggers heavyweight tomography at every steward
-           that saw the message (Section 3.2). *)
+           that saw the message (Section 3.2); chaos may starve a burst
+           below the usable floor. *)
+        let usable = Array.make hop_count t.config.heavyweight_rounds in
         for i = 0 to hop_count - 2 do
           if
             fates.(i).received && fates.(i).forwarded
-            && t.availability ~time:(Engine.now t.engine) hops.(i)
-          then run_heavyweight_burst t hops.(i)
+            && t.availability ~time:jt hops.(i)
+          then usable.(i) <- run_heavyweight_burst t hops.(i) ~stamp
         done;
+        let judgments = Hashtbl.create 8 in
+        (* Window charges deferred until after the revision walk (phase B). *)
+        let pending = ref [] in
+        let no_commitment = ref None in
+        let starved = ref None in
         for i = 0 to hop_count - 2 do
           let a_fate = fates.(i) in
           let b_fate = fates.(i + 1) in
-          if
-            a_fate.received && a_fate.forwarded
-            && t.availability ~time:(Engine.now t.engine) hops.(i)
-          then begin
+          if a_fate.received && a_fate.forwarded && t.availability ~time:jt hops.(i) then begin
             let a = hops.(i) and b = hops.(i + 1) in
-            match Hashtbl.find_opt commitments b with
-            | None ->
-                (* b never received it, or refuses commitments: a cannot
-                   prove anything about b. If tomography shows the a->b
-                   path bad, blame the network; otherwise fall back to the
-                   reputation system (Section 3.6). *)
-                if not b_fate.committed then begin
-                  let links =
-                    match World.ip_path t.world ~from_node:a ~to_node:b with
-                    | Some path -> path.Routes.links
-                    | None -> [||]
-                  in
-                  let confidence =
-                    Blame.path_bad_confidence t.config.blame ~observations:t.observations
-                      ~links ~drop_time:now ~exclude_prober:b
-                      ~visible:(visible_to t a) ()
-                  in
-                  if confidence >= 1. -. t.config.blame.Blame.guilt_threshold then
-                    Hashtbl.replace judgments a
-                      {
-                        Stewardship.judge = a;
-                        target = Stewardship.Network;
-                        blame = 1. -. confidence;
-                        evidence_valid = true;
-                        pushed = true;
-                      }
-                  else if !no_commitment = None then no_commitment := Some b
-                end
-            | Some commitment ->
-                (* a judges b over b's egress path (b to its next hop), or
-                   over a->b when b is the final hop (its ack went missing). *)
-                let egress_links =
-                  if i + 2 < hop_count then
-                    match World.ip_path t.world ~from_node:b ~to_node:hops.(i + 2) with
-                    | Some path -> path.Routes.links
-                    | None -> [||]
-                  else begin
-                    match World.ip_path t.world ~from_node:a ~to_node:b with
-                    | Some path -> path.Routes.links
-                    | None -> [||]
+            let pushed =
+              match t.behavior a with
+              | Message_dropper _ | Silent_dropper ->
+                  false (* culpable nodes sit on their verdicts *)
+              | Honest | Probe_flipper | Commitment_refuser | Sparse_advertiser _ -> true
+            in
+            if not (t.availability ~time:jt b) then begin
+              (* Availability probing shows the suspect offline (churned out
+                 or crashed): absence is not misbehaviour. No verdict window
+                 is charged -- the chain terminates and routing simply
+                 avoids the hop. An uncommitted offline hop is still flagged
+                 for the reputation system. *)
+              if (not b_fate.committed) && !no_commitment = None then no_commitment := Some b;
+              Hashtbl.replace judgments a
+                {
+                  Stewardship.judge = a;
+                  target = Stewardship.Offline b;
+                  blame = 0.;
+                  evidence_valid = true;
+                  pushed;
+                }
+            end
+            else begin
+              match Hashtbl.find_opt commitments b with
+              | None ->
+                  (* b never received it, or refuses commitments: a cannot
+                     prove anything about b. If tomography shows the a->b
+                     path bad, blame the network; otherwise fall back to the
+                     reputation system (Section 3.6). *)
+                  if not b_fate.committed then begin
+                    let links =
+                      match World.ip_path t.world ~from_node:a ~to_node:b with
+                      | Some path -> path.Routes.links
+                      | None -> [||]
+                    in
+                    let confidence =
+                      Blame.path_bad_confidence t.config.blame ~observations:t.observations
+                        ~links ~drop_time ~exclude_prober:b
+                        ~visible:(visible_to t a) ()
+                    in
+                    if confidence >= 1. -. t.config.blame.Blame.guilt_threshold then
+                      Hashtbl.replace judgments a
+                        {
+                          Stewardship.judge = a;
+                          target = Stewardship.Network;
+                          blame = 1. -. confidence;
+                          evidence_valid = true;
+                          pushed;
+                        }
+                    else if !no_commitment = None then no_commitment := Some b
                   end
-                in
-                let verdict, blame =
-                  judge_suspect t ~judge:a ~suspect:b ~links:egress_links ~drop_time:now
-                    ~commitment
-                in
-                let target =
-                  match verdict with
-                  | Blame.Guilty -> Stewardship.Next_hop b
-                  | Blame.Innocent -> Stewardship.Network
-                in
-                let pushed =
-                  match t.behavior a with
-                  | Message_dropper _ | Silent_dropper ->
-                      false (* culpable nodes sit on their verdicts *)
-                  | Honest | Probe_flipper | Commitment_refuser | Sparse_advertiser _ -> true
-                in
-                Hashtbl.replace judgments a
-                  { Stewardship.judge = a; target; blame; evidence_valid = true; pushed }
+              | Some commitment ->
+                  (* a judges b over b's egress path (b to its next hop), or
+                     over a->b when b is the final hop (its ack went missing). *)
+                  let egress_links =
+                    if i + 2 < hop_count then
+                      match World.ip_path t.world ~from_node:b ~to_node:hops.(i + 2) with
+                      | Some path -> path.Routes.links
+                      | None -> [||]
+                    else begin
+                      match World.ip_path t.world ~from_node:a ~to_node:b with
+                      | Some path -> path.Routes.links
+                      | None -> [||]
+                    end
+                  in
+                  let verdict, blame, evidence =
+                    evaluate_suspect t ~judge:a ~suspect:b ~links:egress_links ~drop_time
+                      ~commitment
+                  in
+                  if evidence.Accusation.link_votes = [] && usable.(i) < required then begin
+                    (* The burst was starved (chaos) and no archived probes
+                       cover the window. Zero evidence defaults blame onto
+                       the forwarder, so abstaining beats judging: degrade
+                       to an explicit Insufficient_evidence outcome. *)
+                    if !starved = None then starved := Some (a, usable.(i))
+                  end
+                  else begin
+                    let target =
+                      match verdict with
+                      | Blame.Guilty -> Stewardship.Next_hop b
+                      | Blame.Innocent -> Stewardship.Network
+                    in
+                    Hashtbl.replace judgments a
+                      { Stewardship.judge = a; target; blame; evidence_valid = true; pushed };
+                    pending := (a, b, verdict, blame, evidence) :: !pending
+                  end
+            end
           end
         done;
+        (* Steward failover: when the sender itself crashed or abstained,
+           the revision walk anchors at the most upstream hop that holds a
+           judgment, so surviving stewards still deliver a diagnosis. *)
+        let anchor = ref None in
+        for i = hop_count - 2 downto 0 do
+          if Hashtbl.mem judgments hops.(i) then anchor := Some hops.(i)
+        done;
         let diagnosis =
-          Stewardship.resolve ~first_judge:hops.(0) ~judgment_of:(Hashtbl.find_opt judgments)
+          match !anchor with
+          | Some first_judge ->
+              Diagnosed
+                (Stewardship.resolve ~first_judge ~judgment_of:(Hashtbl.find_opt judgments))
+          | None -> (
+              match (!starved, !no_commitment) with
+              | Some (judge, usable_rounds), None ->
+                  Insufficient_evidence { judge; usable_rounds; required_rounds = required }
+              | _ ->
+                  Diagnosed
+                    (Stewardship.resolve ~first_judge:hops.(0)
+                       ~judgment_of:(Hashtbl.find_opt judgments)))
         in
+        (* Phase B: charge verdict windows, honoring exonerations from the
+           revision walk -- an exonerated suspect's Guilty verdict is
+           archived as Innocent so honest forwarders cannot accrue formal
+           accusations from drops they demonstrably did not cause. *)
+        let exonerated =
+          match diagnosis with
+          | Diagnosed resolution -> resolution.Stewardship.exonerated
+          | Insufficient_evidence _ -> []
+        in
+        List.iter
+          (fun (judge, suspect, verdict, blame, evidence) ->
+            let verdict =
+              match verdict with
+              | Blame.Guilty when List.mem suspect exonerated -> Blame.Innocent
+              | Blame.Guilty | Blame.Innocent -> verdict
+            in
+            record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time)
+          (List.rev !pending);
         on_outcome
           {
             message_id;
             delivered = false;
+            attempts;
             route;
-            drop = !drop;
+            drop;
             diagnosis = Some diagnosis;
             no_commitment_from = !no_commitment;
           })
-  end
+  in
+  attempt 0

@@ -33,25 +33,49 @@ type config = {
   window_size : int;  (** w *)
   accusation_m : int;  (** guilty verdicts before a formal accusation *)
   max_probe_time : float;  (** lightweight probe inter-arrival bound *)
+  probe_backoff_cap : float;
+      (** max multiplier on the probe inter-arrival when a tree answers
+          nothing (partition, mass churn); any ack resets the backoff *)
   dht_replication : int;
   heavyweight_rounds : int;
       (** striped rounds a judge fires at its tree when a drop triggers
           heavyweight tomography (Section 3.2); 0 disables *)
   heavyweight_loss_threshold : float;
       (** MINC-inferred loss above which a link is recorded as "down" *)
+  min_heavyweight_rounds : int;
+      (** usable-round floor below which a starved burst records nothing
+          and the judge abstains ({!Insufficient_evidence}) rather than
+          issue a zero-evidence verdict *)
+  retry_limit : int;  (** retransmits after the first unacknowledged attempt *)
+  retry_base_delay : float;  (** seconds before the first retransmit *)
+  retry_backoff : float;  (** multiplier per further retransmit (bounded) *)
+  evidence_ttl : float;
+      (** window entries whose evidence is older than this are expired
+          before accusation checks; [infinity] disables *)
 }
 
 val default_config : config
 (** Paper parameters: a=0.9, Delta=60 s, threshold 0.4, w=100, m=6,
     max_probe_time=120 s, 4 replicas, 50 heavyweight rounds at a 30%%
-    loss threshold. *)
+    loss threshold; plus runtime hardening defaults: 2 retransmits at
+    1 s/2x backoff, probe backoff capped at 4x, 10-round burst floor, no
+    evidence TTL. *)
+
+type diagnosis =
+  | Diagnosed of Stewardship.resolution
+  | Insufficient_evidence of { judge : int; usable_rounds : int; required_rounds : int }
+      (** every steward that could judge had its heavyweight burst starved
+          below the usable floor (crash mid-burst, partition) and held no
+          archived probes covering the blame window: the verdict is
+          explicitly degraded — no window is charged, nobody is blamed *)
 
 type outcome = {
   message_id : string;
   delivered : bool;  (** destination got the message AND the ack returned *)
+  attempts : int;  (** delivery attempts made (1 = no retransmit needed) *)
   route : int list;  (** overlay hops, sender first *)
   drop : drop option;
-  diagnosis : Stewardship.resolution option;  (** present when not delivered *)
+  diagnosis : diagnosis option;  (** present when not delivered *)
   no_commitment_from : int option;
       (** a hop that never produced a forwarding commitment (it either never
           received the message, or refuses commitments); only the
@@ -72,6 +96,8 @@ val create :
   link_state:Link_state.t ->
   rng:Prng.t ->
   ?availability:(time:float -> int -> bool) ->
+  ?control_latency:(time:float -> float) ->
+  ?put_copies:(time:float -> int) ->
   config ->
   behavior:(int -> behavior) ->
   t
@@ -79,17 +105,30 @@ val create :
     time (default: always). Offline nodes do not probe, do not acknowledge
     probes aimed at them, and silently lose messages routed through them —
     the churn dimension the paper's evaluation held fixed. Pair with
-    {!Concilium_netsim.Churn}. *)
+    {!Concilium_netsim.Churn}, composing with {!Concilium_netsim.Chaos}
+    node crashes.
+
+    [control_latency] (default 0) adds seconds of delay to control-plane
+    timers — retransmit backoff and the judgment barrier — without
+    corrupting evidence timestamps; wire it to
+    {!Concilium_netsim.Chaos.control_latency}. [put_copies] (default 1)
+    reports how many duplicate deliveries a DHT put suffers at a given
+    time; wire it to {!Concilium_netsim.Chaos.put_copies} to check
+    duplication-safety (puts are idempotent). *)
 
 val start_probing : t -> horizon:float -> unit
 (** Schedule every node's lightweight probe loop up to the horizon. *)
 
 val send_message :
   t -> from:int -> dest:Id.t -> payload:string -> on_outcome:(outcome -> unit) -> unit
-(** Route a message and, if it goes unacknowledged, run the full diagnosis
-    (judgments at drop time + Delta, stewardship resolution, accusations).
-    [on_outcome] fires once the diagnosis completes (or immediately after
-    the ack returns). *)
+(** Route a message; on ack timeout retransmit up to [retry_limit] times
+    with bounded exponential backoff, and only then run the full diagnosis
+    (judgments at final drop time + Delta, heavyweight bursts, stewardship
+    resolution with failover past dead stewards, accusations). A suspect
+    that availability shows offline at judgment time yields an
+    {!Stewardship.Offline} target and charges no verdict window — absence
+    is not misbehaviour. [on_outcome] fires once the diagnosis completes
+    (or immediately after the ack returns). *)
 
 val observations : t -> Observation.t
 val dht : t -> Dht.t

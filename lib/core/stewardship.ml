@@ -1,4 +1,4 @@
-type target = Next_hop of int | Network
+type target = Next_hop of int | Network | Offline of int
 
 type judgment = {
   judge : int;
@@ -26,6 +26,14 @@ let resolve ~first_judge ~judgment_of =
         match judgment.target with
         | Network ->
             { final = Some Network; exonerated = List.rev exonerated; judgments_used = used + 1 }
+        | Offline suspect ->
+            (* An offline hop cannot push a verdict and carries no
+               culpability; the chain terminates on it. *)
+            {
+              final = Some (Offline suspect);
+              exonerated = List.rev exonerated;
+              judgments_used = used + 1;
+            }
         | Next_hop suspect -> (
             if Hashtbl.mem visited suspect then
               (* Malformed (cyclic) chain: stop at the current suspect. *)

@@ -14,11 +14,18 @@
     - a hop that withheld its own verdict (refusing to push is
       self-incriminating — upstream never amends past it);
     - the network, when the last verdict in the walkable chain found a bad
-      link rather than a bad forwarder. *)
+      link rather than a bad forwarder;
+    - no one, when the chain ends on a hop that availability probing shows
+      offline ({!Offline}) — absence is not misbehaviour. *)
 
 type target =
   | Next_hop of int  (** the judge blames this overlay node *)
   | Network  (** the judge's tomography shows a bad link: blame the IP network *)
+  | Offline of int
+      (** the judge's availability probes show this hop offline (churned
+          out or crashed): nobody misbehaved, route around it. Terminates
+          the revision chain — an absent node can push nothing upstream —
+          and never charges a verdict window. *)
 
 type judgment = {
   judge : int;

@@ -18,6 +18,15 @@ let guilty_count t =
 
 let entries = Ring_buffer.to_list
 
+let expire t ~before =
+  if Ring_buffer.length t > 0 then begin
+    let kept = List.filter (fun e -> e.drop_time >= before) (Ring_buffer.to_list t) in
+    if List.length kept < Ring_buffer.length t then begin
+      Ring_buffer.clear t;
+      List.iter (fun e -> ignore (Ring_buffer.push t e)) kept
+    end
+  end
+
 let guilty_entries t =
   List.filter
     (fun e -> match e.verdict with Blame.Guilty -> true | Blame.Innocent -> false)

@@ -20,6 +20,11 @@ val guilty_count : 'evidence t -> int
 val entries : 'evidence t -> 'evidence entry list
 (** Oldest first. *)
 
+val expire : 'evidence t -> before:float -> unit
+(** Drop every entry whose [drop_time] is strictly before the horizon,
+    preserving the order of the survivors. Verdicts backed by evidence too
+    old to re-verify must not keep counting towards an accusation. *)
+
 val guilty_entries : 'evidence t -> 'evidence entry list
 
 val should_accuse : 'evidence t -> m:int -> bool

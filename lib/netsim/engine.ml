@@ -72,13 +72,19 @@ let pop t =
     Some top
   end
 
+(* NaN compares false against everything, so an unguarded NaN time would
+   slip past the past-time check and then violate the heap invariant
+   ([earlier] is not a total order over NaN), silently corrupting event
+   order for every later event. *)
 let schedule_at t ~time action =
+  if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
   if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   push t { time; seq; action }
 
 let schedule t ~delay action =
+  if Float.is_nan delay then invalid_arg "Engine.schedule: NaN delay";
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) action
 

@@ -7,11 +7,12 @@ val create : ?start:float -> unit -> t
 val now : t -> float
 
 val schedule_at : t -> time:float -> (t -> unit) -> unit
-(** @raise Invalid_argument if [time] is in the simulated past. *)
+(** @raise Invalid_argument if [time] is NaN or in the simulated past
+    (either would corrupt the event-heap order). *)
 
 val schedule : t -> delay:float -> (t -> unit) -> unit
 (** [schedule t ~delay f] = [schedule_at t ~time:(now t +. delay) f];
-    [delay] must be non-negative. *)
+    [delay] must be non-negative and not NaN. *)
 
 val pending : t -> int
 

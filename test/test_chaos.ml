@@ -1,0 +1,159 @@
+module Engine = Concilium_netsim.Engine
+module Link_state = Concilium_netsim.Link_state
+module Chaos = Concilium_netsim.Chaos
+module Prng = Concilium_util.Prng
+
+let check = Alcotest.check
+
+let busy_config =
+  {
+    Chaos.link_flaps_per_hour = 6.;
+    flap_mean_duration = 120.;
+    bursts_per_hour = 2.;
+    burst_width = 3;
+    burst_mean_duration = 200.;
+    partitions_per_hour = 1.;
+    partition_mean_duration = 300.;
+    crashes_per_hour = 3.;
+    crash_mean_duration = 240.;
+    replica_losses_per_hour = 1.;
+    delays_per_hour = 2.;
+    delay_mean_duration = 400.;
+    delay_extra = 5.;
+    duplications_per_hour = 2.;
+    duplication_mean_duration = 300.;
+    duplication_copies = 3;
+  }
+
+let sample_fixture seed =
+  Chaos.sample ~rng:(Prng.of_seed seed) ~config:busy_config
+    ~links:(Array.init 40 Fun.id) ~nodes:20
+    ~cuts:[| [| 1; 2 |]; [| 7; 8; 9 |] |]
+    ~horizon:7200.
+
+let fault_start = function
+  | Chaos.Link_flap { start; _ }
+  | Chaos.Burst_loss { start; _ }
+  | Chaos.Partition { start; _ }
+  | Chaos.Node_crash { start; _ }
+  | Chaos.Control_delay { start; _ }
+  | Chaos.Control_duplication { start; _ } -> start
+  | Chaos.Replica_loss { time; _ } -> time
+
+let test_sample_deterministic_and_sorted () =
+  let a = sample_fixture 7L and b = sample_fixture 7L in
+  check Alcotest.bool "equal seeds, equal plans" true (a = b);
+  check Alcotest.bool "different seed differs" true (a <> sample_fixture 8L);
+  check Alcotest.bool "nonempty fixture" true (a <> []);
+  let starts = List.map fault_start a in
+  check (Alcotest.list (Alcotest.float 1e-9)) "sorted by start"
+    (List.sort Float.compare starts) starts;
+  List.iter
+    (fun start -> check Alcotest.bool "within horizon" true (start >= 0. && start < 7200.))
+    starts
+
+let test_quiet_samples_empty () =
+  let plan =
+    Chaos.sample ~rng:(Prng.of_seed 1L) ~config:Chaos.quiet ~links:(Array.init 10 Fun.id)
+      ~nodes:5 ~cuts:[||] ~horizon:3600.
+  in
+  check Alcotest.int "empty plan" 0 (List.length plan)
+
+let test_compile_restores_link_state () =
+  let engine = Engine.create () in
+  let link_state = Link_state.create ~link_count:10 ~good_loss:0.01 ~bad_loss:1. in
+  (* Link 3 is bad before chaos touches it: chaos must not repair it. Link 5
+     suffers two overlapping faults and must stay bad until the later end. *)
+  Link_state.set_bad link_state 3;
+  let plan =
+    [
+      Chaos.Link_flap { link = 3; start = 10.; duration = 20. };
+      Chaos.Link_flap { link = 5; start = 10.; duration = 30. };
+      Chaos.Burst_loss { links = [| 5; 6 |]; start = 20.; duration = 40. };
+    ]
+  in
+  let (_ : Chaos.t) = Chaos.compile ~engine ~link_state plan in
+  Engine.run_until engine 15.;
+  check Alcotest.bool "5 bad at 15" true (Link_state.is_bad link_state 5);
+  Engine.run_until engine 45.;
+  (* First fault on 5 ended at 40, burst still holds it. *)
+  check Alcotest.bool "5 still bad at 45 (refcount)" true (Link_state.is_bad link_state 5);
+  check Alcotest.bool "6 bad at 45" true (Link_state.is_bad link_state 6);
+  Engine.run_until engine 100.;
+  check Alcotest.bool "5 repaired" false (Link_state.is_bad link_state 5);
+  check Alcotest.bool "6 repaired" false (Link_state.is_bad link_state 6);
+  check Alcotest.bool "pre-chaos bad state preserved" true (Link_state.is_bad link_state 3)
+
+let test_compile_queries_and_hooks () =
+  let engine = Engine.create () in
+  let link_state = Link_state.create ~link_count:4 ~good_loss:0. ~bad_loss:1. in
+  let lost = ref [] in
+  let plan =
+    [
+      Chaos.Node_crash { node = 2; start = 100.; duration = 50. };
+      Chaos.Replica_loss { node = 1; time = 120. };
+      Chaos.Control_delay { start = 100.; duration = 100.; extra = 4. };
+      Chaos.Control_delay { start = 150.; duration = 100.; extra = 2. };
+      Chaos.Control_duplication { start = 100.; duration = 50.; copies = 3 };
+    ]
+  in
+  let chaos =
+    Chaos.compile
+      ~on_replica_loss:(fun ~node ~time -> lost := (node, time) :: !lost)
+      ~engine ~link_state plan
+  in
+  check Alcotest.bool "online before crash" true (Chaos.node_online chaos ~time:99. 2);
+  check Alcotest.bool "offline during crash" false (Chaos.node_online chaos ~time:120. 2);
+  check Alcotest.bool "online after restart" true (Chaos.node_online chaos ~time:151. 2);
+  check Alcotest.bool "other node unaffected" true (Chaos.node_online chaos ~time:120. 0);
+  check (Alcotest.float 1e-9) "no delay outside windows" 0.
+    (Chaos.control_latency chaos ~time:50.);
+  check (Alcotest.float 1e-9) "single window" 4. (Chaos.control_latency chaos ~time:120.);
+  check (Alcotest.float 1e-9) "overlapping windows sum" 6.
+    (Chaos.control_latency chaos ~time:160.);
+  check Alcotest.int "no duplication outside" 1 (Chaos.put_copies chaos ~time:99.);
+  check Alcotest.int "duplication inside" 3 (Chaos.put_copies chaos ~time:120.);
+  Engine.run_until engine 200.;
+  check (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 1e-9)))
+    "replica loss delivered" [ (1, 120.) ] !lost
+
+let test_cut_of_paths () =
+  (* Cross-side paths use links 2 and 3; link 3 also carries a same-side
+     path, so only link 2 realises the cut. *)
+  let paths =
+    [
+      (true, false, [| 1; 2 |]);
+      (false, true, [| 3; 4 |]);
+      (true, true, [| 3; 5 |]);
+      (false, false, [| 4 |]);
+    ]
+  in
+  check (Alcotest.array Alcotest.int) "cut links" [| 1; 2 |] (Chaos.cut_of_paths ~paths)
+
+let test_fault_counts () =
+  let counts = Chaos.fault_counts (sample_fixture 7L) in
+  check
+    (Alcotest.list Alcotest.string)
+    "fixed family order"
+    [
+      "link_flap"; "burst_loss"; "partition"; "node_crash"; "replica_loss"; "control_delay";
+      "control_duplication";
+    ]
+    (List.map fst counts);
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+  check Alcotest.int "histogram covers the plan" (List.length (sample_fixture 7L)) total
+
+let suites =
+  [
+    ( "netsim.chaos",
+      [
+        Alcotest.test_case "sample deterministic and sorted" `Quick
+          test_sample_deterministic_and_sorted;
+        Alcotest.test_case "quiet config samples empty" `Quick test_quiet_samples_empty;
+        Alcotest.test_case "compile restores link state" `Quick
+          test_compile_restores_link_state;
+        Alcotest.test_case "queries and hooks" `Quick test_compile_queries_and_hooks;
+        Alcotest.test_case "cut of paths" `Quick test_cut_of_paths;
+        Alcotest.test_case "fault counts" `Quick test_fault_counts;
+      ] );
+  ]

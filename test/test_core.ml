@@ -119,6 +119,48 @@ let test_verdict_window_counting () =
   check Alcotest.int "slid" 1 (Verdict_window.guilty_count w);
   check Alcotest.int "length capped" 3 (Verdict_window.length w)
 
+(* Reference model for the window: a plain list of (verdict, drop_time),
+   oldest first, truncated to the last [window_size] on push and filtered on
+   expire. The real structure must agree after any operation sequence. *)
+let prop_verdict_window_matches_list_model =
+  QCheck.Test.make ~name:"window matches naive list model under push/expire" ~count:300
+    QCheck.(
+      pair (int_range 1 8)
+        (small_list (triple bool bool (int_bound 50))))
+    (fun (window_size, ops) ->
+      let w = Verdict_window.create ~window_size in
+      let model = ref [] in
+      List.iter
+        (fun (is_push, guilty, t) ->
+          let time = float_of_int t in
+          if is_push then begin
+            let verdict = if guilty then Blame.Guilty else Blame.Innocent in
+            Verdict_window.record w
+              { Verdict_window.verdict; blame = 0.5; drop_time = time; evidence = () };
+            model := !model @ [ (verdict, time) ];
+            let excess = List.length !model - window_size in
+            if excess > 0 then model := List.filteri (fun i _ -> i >= excess) !model
+          end
+          else begin
+            Verdict_window.expire w ~before:time;
+            model := List.filter (fun (_, drop_time) -> drop_time >= time) !model
+          end)
+        ops;
+      let actual =
+        List.map
+          (fun e -> (e.Verdict_window.verdict, e.Verdict_window.drop_time))
+          (Verdict_window.entries w)
+      in
+      let model_guilty =
+        List.length (List.filter (fun (v, _) -> v = Blame.Guilty) !model)
+      in
+      actual = !model
+      && Verdict_window.length w = List.length !model
+      && Verdict_window.guilty_count w = model_guilty
+      && List.for_all
+           (fun m -> Verdict_window.should_accuse w ~m = (model_guilty >= m))
+           [ 1; 2; 3 ])
+
 (* ---------- Accusation model ---------- *)
 
 let test_accusation_model_paper_values () =
@@ -315,10 +357,10 @@ let test_dht_put_get () =
   (* Idempotent: same record again. *)
   Dht.put dht ~from:5 ~accused_key accusation ~hops;
   check Alcotest.int "idempotent" 3 (Dht.total_records dht);
-  let fetched = Dht.get dht ~from:9 ~accused_key ~hops in
+  let fetched = Dht.get dht ~from:9 ~accused_key ~hops () in
   check Alcotest.int "fetched" 1 (List.length fetched);
   check Alcotest.bool "hops consumed" true (!hops >= 0);
-  let other = Dht.get dht ~from:9 ~accused_key:(Pki.public_key_of_string "nobody") ~hops in
+  let other = Dht.get dht ~from:9 ~accused_key:(Pki.public_key_of_string "nobody") ~hops () in
   check Alcotest.int "other key empty" 0 (List.length other)
 
 let test_dht_replicas_distinct () =
@@ -733,7 +775,10 @@ let suites =
         qtest prop_blame_in_unit_interval;
       ] );
     ( "core.verdict_window",
-      [ Alcotest.test_case "sliding window counting" `Quick test_verdict_window_counting ] );
+      [
+        Alcotest.test_case "sliding window counting" `Quick test_verdict_window_counting;
+        qtest prop_verdict_window_matches_list_model;
+      ] );
     ( "core.accusation_model",
       [
         Alcotest.test_case "paper's m=6 and m=16" `Quick test_accusation_model_paper_values;

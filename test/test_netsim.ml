@@ -57,6 +57,20 @@ let test_engine_rejects_past () =
   Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time is in the past")
     (fun () -> Engine.schedule_at engine ~time:5. (fun _ -> ()))
 
+let test_engine_rejects_nan_and_negative () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "NaN time" (Invalid_argument "Engine.schedule_at: NaN time") (fun () ->
+      Engine.schedule_at engine ~time:Float.nan (fun _ -> ()));
+  Alcotest.check_raises "NaN delay" (Invalid_argument "Engine.schedule: NaN delay") (fun () ->
+      Engine.schedule engine ~delay:Float.nan (fun _ -> ()));
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Engine.schedule engine ~delay:(-1.) (fun _ -> ()));
+  (* A rejected event must not corrupt the heap for later valid ones. *)
+  let fired = ref 0 in
+  Engine.schedule engine ~delay:1. (fun _ -> incr fired);
+  Engine.run engine;
+  check Alcotest.int "heap intact after rejections" 1 !fired
+
 (* ---------- Link_state ---------- *)
 
 let test_link_state_transitions () =
@@ -250,6 +264,55 @@ let test_churn_transitions_consistent () =
       (Churn.transitions churn ~host)
   done
 
+let test_churn_transitions_chronological_and_alternating () =
+  let rng = Prng.of_seed 53L in
+  let duration = 40_000. in
+  let churn = Churn.generate ~rng ~config:Churn.default_config ~hosts:20 ~duration in
+  let any = ref false in
+  for host = 0 to 19 do
+    let transitions = Churn.transitions churn ~host in
+    if transitions <> [] then any := true;
+    (* Chronological and clipped to the horizon. *)
+    let times = List.map fst transitions in
+    check (Alcotest.list (Alcotest.float 1e-9)) "sorted times"
+      (List.sort Float.compare times) times;
+    List.iter
+      (fun time ->
+        check Alcotest.bool "within horizon" true (time >= 0. && time <= duration))
+      times;
+    (* Strictly alternating on/off: two consecutive same-direction events
+       would mean a lost interval boundary. *)
+    ignore
+      (List.fold_left
+         (fun previous (_, became_online) ->
+           (match previous with
+           | Some p -> check Alcotest.bool "alternates" (not p) became_online
+           | None -> ());
+           Some became_online)
+         None transitions)
+  done;
+  check Alcotest.bool "fixture produced transitions" true !any
+
+let test_failures_target_across_seeds () =
+  (* Steady-state validation: the time-averaged bad fraction stays within
+     20% of the configured target for several independent seeds. *)
+  let target = Failures.paper_config.Failures.target_bad_fraction in
+  List.iter
+    (fun seed ->
+      let g, routes = failure_fixture seed in
+      let rng = Prng.of_seed (Int64.add seed 1000L) in
+      let duration = 72_000. in
+      let failures =
+        Failures.generate ~rng ~config:Failures.paper_config
+          ~link_count:(Graph.link_count g) ~routes ~duration
+      in
+      let mean = Failures.mean_bad_fraction failures ~duration ~samples:400 in
+      check Alcotest.bool
+        (Printf.sprintf "seed %Ld: mean %.4f within 20%% of %.2f" seed mean target)
+        true
+        (Float.abs (mean -. target) <= 0.2 *. target))
+    [ 21L; 22L; 23L; 24L; 25L ]
+
 let test_churn_mostly_online_default () =
   let rng = Prng.of_seed 52L in
   let churn =
@@ -284,6 +347,8 @@ let suites =
         Alcotest.test_case "run_until" `Quick test_engine_run_until;
         Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
         Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        Alcotest.test_case "rejects NaN and negative" `Quick
+          test_engine_rejects_nan_and_negative;
         prop_engine_fires_in_time_order;
       ] );
     ("netsim.link_state", [ Alcotest.test_case "transitions" `Quick test_link_state_transitions ]);
@@ -298,12 +363,16 @@ let suites =
         Alcotest.test_case "only relevant links fail" `Quick
           test_failures_only_touch_relevant_links;
         Alcotest.test_case "edge bias" `Quick test_failures_edge_bias;
+        Alcotest.test_case "target fraction across seeds" `Quick
+          test_failures_target_across_seeds;
       ] );
     ("netsim.net", [ Alcotest.test_case "delivery and loss" `Quick test_net_delivery_and_loss ]);
     ( "netsim.churn",
       [
         Alcotest.test_case "steady state" `Quick test_churn_steady_state;
         Alcotest.test_case "transition consistency" `Quick test_churn_transitions_consistent;
+        Alcotest.test_case "transitions chronological and alternating" `Quick
+          test_churn_transitions_chronological_and_alternating;
         Alcotest.test_case "default config mostly online" `Quick
           test_churn_mostly_online_default;
       ] );

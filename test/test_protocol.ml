@@ -90,8 +90,11 @@ let test_dropper_blamed () =
       check Alcotest.bool "not delivered" false outcome.Protocol.delivered;
       check Alcotest.bool "ground truth is the dropper" true
         (outcome.Protocol.drop = Some (Protocol.Dropped_by_overlay culprit));
+      check Alcotest.bool "all retransmits consumed" true
+        (outcome.Protocol.attempts = Protocol.default_config.Protocol.retry_limit + 1);
       (match outcome.Protocol.diagnosis with
-      | Some { Stewardship.final = Some (Stewardship.Next_hop blamed); _ } ->
+      | Some (Protocol.Diagnosed { Stewardship.final = Some (Stewardship.Next_hop blamed); _ })
+        ->
           check Alcotest.int "dropper blamed" culprit blamed
       | _ -> Alcotest.fail "expected a node-level diagnosis")
 
@@ -114,8 +117,9 @@ let test_bad_link_blames_network () =
   | Some outcome ->
       check Alcotest.bool "not delivered" false outcome.Protocol.delivered;
       (match outcome.Protocol.diagnosis with
-      | Some { Stewardship.final = Some Stewardship.Network; _ } -> ()
-      | Some { Stewardship.final = Some (Stewardship.Next_hop blamed); _ } ->
+      | Some (Protocol.Diagnosed { Stewardship.final = Some Stewardship.Network; _ }) -> ()
+      | Some (Protocol.Diagnosed { Stewardship.final = Some (Stewardship.Next_hop blamed); _ })
+        ->
           Alcotest.failf "blamed node %d instead of the network" blamed
       | _ -> Alcotest.fail "expected a diagnosis")
 
@@ -211,7 +215,15 @@ let test_churned_hop_flagged_not_accused () =
       check Alcotest.bool "ground truth: hop offline" true
         (outcome.Protocol.drop = Some (Protocol.Hop_offline offline));
       check (Alcotest.option Alcotest.int) "flagged without commitment" (Some offline)
-        outcome.Protocol.no_commitment_from
+        outcome.Protocol.no_commitment_from;
+      (match outcome.Protocol.diagnosis with
+      | Some (Protocol.Diagnosed { Stewardship.final = Some (Stewardship.Offline v); _ }) ->
+          check Alcotest.int "offline hop identified, nobody blamed" offline v
+      | _ -> Alcotest.fail "expected an Offline diagnosis");
+      (* Absence is not misbehaviour: the judge's window for the offline
+         hop must stay empty. *)
+      check Alcotest.int "no verdict window charged" 0
+        (Protocol.guilty_count protocol ~judge:from ~suspect:offline)
 
 
 let test_control_bandwidth_accounted () =
@@ -257,8 +269,9 @@ let test_heavyweight_burst_improves_evidence () =
   | Some outcome -> (
       check Alcotest.bool "not delivered" false outcome.Protocol.delivered;
       match outcome.Protocol.diagnosis with
-      | Some { Stewardship.final = Some Stewardship.Network; _ } -> ()
-      | Some { Stewardship.final = Some (Stewardship.Next_hop blamed); _ } ->
+      | Some (Protocol.Diagnosed { Stewardship.final = Some Stewardship.Network; _ }) -> ()
+      | Some (Protocol.Diagnosed { Stewardship.final = Some (Stewardship.Next_hop blamed); _ })
+        ->
           Alcotest.failf "blamed node %d despite heavyweight evidence" blamed
       | _ -> Alcotest.fail "expected a diagnosis")
 
