@@ -2,6 +2,10 @@
    measuring the computational kernel that regenerates it, plus the core
    protocol primitives. Run with `dune exec bench/main.exe`. *)
 
+(* Alias the raw clock before the opens: Toolkit shadows Monotonic_clock
+   with its MEASURE wrapper, which has no [now]. *)
+module Raw_clock = Monotonic_clock
+
 open Bechamel
 open Toolkit
 module E = Concilium_experiments
@@ -22,6 +26,21 @@ module Graph = Concilium_topology.Graph
 module Routes = Concilium_topology.Routes
 module Tree = Concilium_tomography.Tree
 module Logical_tree = Concilium_tomography.Logical_tree
+module Trace = Concilium_obs.Trace
+
+(* Self-profiling: the harness's own stages run inside spans on the process
+   monotonic clock (relative to startup), and --json/--out fold the
+   completed spans into a "profile" section — the bench binary eats its own
+   observability dogfood. *)
+let profile_trace = Trace.create ()
+let bench_t0 = Raw_clock.now ()
+let elapsed () = Int64.to_float (Int64.sub (Raw_clock.now ()) bench_t0) /. 1e9
+
+let profiled name f =
+  let span = Trace.span_open profile_trace ~time:(elapsed ()) ~cat:"bench" name in
+  let result = f () in
+  Trace.span_close profile_trace ~time:(elapsed ()) span;
+  result
 
 (* Shared fixtures, built once. *)
 let world = lazy (World.build (World.tiny_config ~seed:2024L))
@@ -288,16 +307,22 @@ let benchmark () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
   let test = Test.make_grouped ~name:"concilium" ~fmt:"%s %s" tests in
-  let raw_results = Benchmark.all cfg instances test in
-  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  let raw_results = profiled "bench.measure" (fun () -> Benchmark.all cfg instances test) in
+  let results =
+    profiled "bench.analyze" (fun () ->
+        List.map (fun instance -> Analyze.all ols instance raw_results) instances)
+  in
   (Analyze.merge ols instances results, raw_results)
 
 (* ---------- Output ---------- *)
 
 (* Machine-readable dump for BENCH_baseline.json: one record per benchmark
-   with the OLS ns/run estimate. Collected rows are sorted by name because
-   Hashtbl iteration order is seed-dependent. *)
-let emit_json results =
+   with the OLS ns/run estimate, plus the harness's own profile spans.
+   Collected rows are sorted by name because Hashtbl iteration order is
+   seed-dependent. *)
+let json_of_results results =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.bprintf buf fmt in
   let rows = ref [] in
   Hashtbl.iter
     (fun _measure per_test ->
@@ -315,31 +340,57 @@ let emit_json results =
   let rows =
     List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
   in
-  Printf.printf "{\n";
-  Printf.printf "  \"host\": { \"cores\": %d, \"ocaml\": %S },\n"
+  add "{\n";
+  add "  \"host\": { \"cores\": %d, \"ocaml\": %S },\n"
     (Pool.default_domains ()) Sys.ocaml_version;
-  Printf.printf "  \"unit\": \"ns/run\",\n";
-  Printf.printf "  \"results\": [\n";
+  add "  \"unit\": \"ns/run\",\n";
+  add "  \"results\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
-      Printf.printf "    { \"name\": %S, \"ns_per_run\": %.1f, \"r_square\": %.4f }%s\n"
-        name ns r2
+      add "    { \"name\": %S, \"ns_per_run\": %.1f, \"r_square\": %.4f }%s\n" name ns r2
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  Printf.printf "  ]\n}\n"
+  add "  ],\n";
+  let spans = Trace.completed_spans profile_trace in
+  add "  \"profile\": [\n";
+  List.iteri
+    (fun i (name, start, duration) ->
+      add "    { \"stage\": %S, \"start_s\": %.3f, \"duration_s\": %.3f }%s\n" name start
+        duration
+        (if i = List.length spans - 1 then "" else ","))
+    spans;
+  add "  ]\n}\n";
+  Buffer.contents buf
+
+let render_table results =
+  let open Bechamel_notty in
+  let rect =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { w; h }
+    | None -> { w = 120; h = 1 }
+  in
+  List.iter (fun v -> Unit.add v (Measure.unit v)) Instance.[ monotonic_clock ];
+  Multiple.image_of_ols_results ~rect ~predictor:Measure.run results
+  |> Notty_unix.eol |> Notty_unix.output_image
 
 let () =
+  (* --json prints the JSON document to stdout (historical behaviour, but
+     it interleaves with dune's progress output when run via `dune exec`);
+     --out FILE writes the same document to FILE and keeps stdout
+     human-readable. *)
   let json = Array.exists (String.equal "--json") Sys.argv in
+  let out = ref None in
+  Array.iteri
+    (fun i arg -> if arg = "--out" && i + 1 < Array.length Sys.argv then out := Some Sys.argv.(i + 1))
+    Sys.argv;
   let results, _ = benchmark () in
-  if json then emit_json results
-  else begin
-    let open Bechamel_notty in
-    let rect =
-      match Notty_unix.winsize Unix.stdout with
-      | Some (w, h) -> { w; h }
-      | None -> { w = 120; h = 1 }
-    in
-    List.iter (fun v -> Unit.add v (Measure.unit v)) Instance.[ monotonic_clock ];
-    Multiple.image_of_ols_results ~rect ~predictor:Measure.run results
-    |> Notty_unix.eol |> Notty_unix.output_image
-  end
+  match !out with
+  | Some path ->
+      let document = json_of_results results in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc document);
+      render_table results;
+      Printf.printf "json -> %s\n" path
+  | None -> if json then print_string (json_of_results results) else render_table results

@@ -24,6 +24,9 @@ module Routes = Concilium_topology.Routes
 module Id = Concilium_overlay.Id
 module Prng = Concilium_util.Prng
 module Pool = Concilium_util.Pool
+module Collector = Concilium_obs.Collector
+module Trace = Concilium_obs.Trace
+module Export = Concilium_obs.Export
 
 type scenario = {
   name : string;
@@ -129,6 +132,9 @@ type run_result = {
   faults : (string * int) list;
   tally : tally;
   honest_accusations : int;
+  dht_failover_times : float list;
+      (* engine times at which a DHT put succeeded by failing over past a
+         dead root replica, from the scenario's trace *)
   failure : string option;  (* uncaught exception, if any *)
 }
 
@@ -151,7 +157,7 @@ let build_cuts world =
   let cut = Chaos.cut_of_paths ~paths:(List.rev !paths) in
   if Array.length cut = 0 then [||] else [| cut |]
 
-let run_scenario ~seed ~index ~rng scenario =
+let run_scenario ~seed ~index ~rng ~obs scenario =
   let tally =
     {
       delivered = 0;
@@ -185,7 +191,7 @@ let run_scenario ~seed ~index ~rng scenario =
        later, during the engine run, so a forward reference suffices. *)
     let dht_ref = ref None in
     let chaos =
-      Chaos.compile
+      Chaos.compile ~obs:obs.Collector.trace
         ~on_replica_loss:(fun ~node ~time:_ ->
           match !dht_ref with Some dht -> Dht.drop_replica dht ~node | None -> ())
         ~engine ~link_state plan
@@ -217,7 +223,7 @@ let run_scenario ~seed ~index ~rng scenario =
       Protocol.create ~world ~engine ~link_state ~rng:(Prng.split rng) ~availability
         ~control_latency:(fun ~time -> Chaos.control_latency chaos ~time)
         ~put_copies:(fun ~time -> Chaos.put_copies chaos ~time)
-        Protocol.default_config ~behavior
+        ~obs Protocol.default_config ~behavior
     in
     dht_ref := Some (Protocol.dht protocol);
     Protocol.start_probing protocol ~horizon:scenario.duration;
@@ -270,7 +276,8 @@ let run_scenario ~seed ~index ~rng scenario =
         let named =
           Dht.get dht ~from:0 ~accused_key:(World.public_key_of world v) ~hops ()
         in
-        honest_accusations := !honest_accusations + List.length named
+        honest_accusations :=
+          !honest_accusations + List.length named.Dht.accusations
       end
     done;
     {
@@ -278,10 +285,19 @@ let run_scenario ~seed ~index ~rng scenario =
       faults = Chaos.fault_counts plan;
       tally;
       honest_accusations = !honest_accusations;
+      dht_failover_times =
+        List.map fst (Trace.instants obs.Collector.trace ~name:"dht.put.failover");
       failure = None;
     }
   with e ->
-    { scenario; faults = []; tally; honest_accusations = 0; failure = Some (Printexc.to_string e) }
+    {
+      scenario;
+      faults = [];
+      tally;
+      honest_accusations = 0;
+      dht_failover_times = [];
+      failure = Some (Printexc.to_string e);
+    }
 
 (* ---------- Transcript ---------- *)
 
@@ -314,6 +330,11 @@ let emit_json buf ~matrix ~seed results =
       add "      \"unresolved\": %d,\n" t.unresolved;
       add "      \"missing_outcomes\": %d,\n" t.missing;
       add "      \"honest_accusations\": %d,\n" r.honest_accusations;
+      add "      \"dht_failover_times\": [";
+      List.iteri
+        (fun j time -> add "%s%.6f" (if j = 0 then "" else ", ") time)
+        r.dht_failover_times;
+      add "],\n";
       (match r.failure with
       | None -> add "      \"exception\": null,\n"
       | Some msg -> add "      \"exception\": %S,\n" msg);
@@ -322,7 +343,7 @@ let emit_json buf ~matrix ~seed results =
     results;
   add "  ],\n  \"pass\": %b\n}\n" (List.for_all scenario_passed results)
 
-let run matrix seed domains =
+let run matrix seed domains trace_out metrics_out trace_filter =
   let scenarios =
     match matrix with
     | "small" -> small_matrix
@@ -331,17 +352,29 @@ let run matrix seed domains =
         Printf.eprintf "unknown matrix %S (expected small or full)\n" other;
         exit 2
   in
-  (* Pre-split every scenario's PRNG before the fan-out: the transcript is
-     byte-identical for any --domains value. *)
+  (* Pre-split every scenario's PRNG — and pre-allocate its observability
+     collector — before the fan-out: the transcript and any exported
+     trace/metrics are byte-identical for any --domains value. Collectors
+     always record here because the transcript's dht_failover_times field
+     reads the trace. *)
   let master = Prng.of_seed seed in
   let rngs = Prng.split_n master (List.length scenarios) in
+  let collectors = Collector.shards (List.length scenarios) in
   let indexed = Array.of_list (List.mapi (fun i s -> (i, s)) scenarios) in
   let results =
     Pool.with_pool ?domains (fun pool ->
         Pool.parallel_map ~pool indexed ~f:(fun (i, s) ->
-            run_scenario ~seed ~index:i ~rng:rngs.(i) s))
+            run_scenario ~seed ~index:i ~rng:rngs.(i) ~obs:collectors.(i) s))
   in
   let results = Array.to_list results in
+  if trace_out <> None || metrics_out <> None then begin
+    let merged = Collector.merge collectors in
+    let filter = Export.filter_of_spec trace_filter in
+    Option.iter
+      (fun path -> Export.write_trace ~path ?filter merged.Collector.trace)
+      trace_out;
+    Option.iter (fun path -> Export.write_metrics ~path merged.Collector.metrics) metrics_out
+  end;
   let buf = Buffer.create 4096 in
   emit_json buf ~matrix ~seed results;
   print_string (Buffer.contents buf);
@@ -372,8 +405,32 @@ let domains =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the merged per-scenario trace (protocol spans + chaos fault events) to \
+           $(docv): Chrome trace_event JSON for .json names, JSONL otherwise.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the merged metrics snapshot as JSON to $(docv).")
+
+let trace_filter =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-filter" ] ~docv:"CATS"
+        ~doc:"Keep only trace records in these comma-separated categories (e.g. chaos,episode).")
+
 let cmd =
   let doc = "Chaos soak: run fault scenarios against the protocol runtime, check invariants" in
-  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ matrix $ seed $ domains)
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ matrix $ seed $ domains $ trace_out $ metrics_out $ trace_filter)
 
 let () = exit (Cmd.eval' cmd)

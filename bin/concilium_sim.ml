@@ -13,6 +13,9 @@ module Churn = Concilium_netsim.Churn
 module Graph = Concilium_topology.Graph
 module Id = Concilium_overlay.Id
 module Prng = Concilium_util.Prng
+module Collector = Concilium_obs.Collector
+module Export = Concilium_obs.Export
+module Trace = Concilium_obs.Trace
 
 type stats = {
   mutable sent : int;
@@ -29,11 +32,20 @@ let describe_target world = function
   | Stewardship.Offline v ->
       Printf.sprintf "node %d (%s, offline)" v (Id.to_hex (World.id_of world v))
 
-let run seed duration messages dropper_fraction drop_probability churn verbose =
+let run seed duration messages dropper_fraction drop_probability churn verbose trace_out
+    metrics_out trace_filter domains =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
+  (* Per-shard collectors are pre-allocated before any work runs — the same
+     contract the parallel drivers follow — and merged in fixed shard
+     order, so --trace/--metrics output is byte-identical for any
+     --domains value. The sim itself drives one sequential engine; the
+     flag exercises harness symmetry, shard 0 does the recording. *)
+  let observing = trace_out <> None || metrics_out <> None in
+  let shards = Collector.shards (max 1 domains) in
+  let obs = if observing then shards.(0) else Collector.noop in
   let world = World.build (World.small_config ~seed) in
   let graph = world.World.generated.World.Generate.graph in
   let node_count = World.node_count world in
@@ -71,7 +83,7 @@ let run seed duration messages dropper_fraction drop_probability churn verbose =
     end
   in
   let protocol =
-    Protocol.create ~world ~engine ~link_state ~rng:(Prng.split rng) ~availability
+    Protocol.create ~world ~engine ~link_state ~rng:(Prng.split rng) ~availability ~obs
       Protocol.default_config ~behavior
   in
   Protocol.start_probing protocol ~horizon:duration;
@@ -157,7 +169,24 @@ let run seed duration messages dropper_fraction drop_probability churn verbose =
       (100. *. float_of_int (stats.correct_node + stats.correct_network) /. float_of_int diagnosed);
   Printf.printf
     "control-plane bandwidth: %.0f B/s per node (probes + snapshot diffs + heavyweight bursts)\n"
-    (Protocol.mean_control_bytes_per_second protocol ~horizon:duration)
+    (Protocol.mean_control_bytes_per_second protocol ~horizon:duration);
+  if observing then begin
+    let merged = Collector.merge shards in
+    let filter = Export.filter_of_spec trace_filter in
+    (match Trace.validate merged.Collector.trace with
+    | Ok () -> ()
+    | Error reason -> Printf.eprintf "trace validation failed: %s\n%!" reason);
+    Option.iter
+      (fun path ->
+        Export.write_trace ~path ?filter merged.Collector.trace;
+        Printf.printf "trace: %d records -> %s\n" (Trace.length merged.Collector.trace) path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        Export.write_metrics ~path ~time:duration merged.Collector.metrics;
+        Printf.printf "metrics -> %s\n" path)
+      metrics_out
+  end
 
 open Cmdliner
 
@@ -184,12 +213,45 @@ let churn =
 
 let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every diagnosis.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the diagnosis trace to $(docv): Chrome trace_event JSON when the name ends \
+           in .json (load in chrome://tracing), JSONL otherwise.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write the metrics snapshot (counters, gauges, histograms) as JSON to $(docv).")
+
+let trace_filter =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-filter" ] ~docv:"CATS"
+        ~doc:
+          "Keep only trace records in these comma-separated categories (e.g. \
+           episode,probe,dht).")
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Pre-allocate $(docv) per-shard observability collectors and merge them in shard \
+           order; trace and metrics output is byte-identical for any value.")
+
 let cmd =
   let doc = "Run the full Concilium protocol over a simulated deployment" in
   Cmd.v
     (Cmd.info "concilium-sim" ~doc)
     Term.(
       const run $ seed $ duration $ messages $ dropper_fraction $ drop_probability $ churn
-      $ verbose)
+      $ verbose $ trace_out $ metrics_out $ trace_filter $ domains)
 
 let () = exit (Cmd.eval cmd)

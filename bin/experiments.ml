@@ -7,6 +7,10 @@ module E = Concilium_experiments
 module World = Concilium_core.World
 module Prng = Concilium_util.Prng
 module Pool = Concilium_util.Pool
+module Collector = Concilium_obs.Collector
+module Trace = Concilium_obs.Trace
+module Metrics = Concilium_obs.Metrics
+module Export = Concilium_obs.Export
 
 type scale = Small | Paper
 
@@ -134,8 +138,28 @@ let needs_world = function
   | "fig4" | "fig5" | "fig6" | "all" | "ablations" | "baselines" -> true
   | _ -> false
 
-let run_experiment name scale seed tsv domains =
+let run_experiment name scale seed tsv domains trace_out metrics_out trace_filter =
   E.Output.set_tsv_dir tsv;
+  (* Phase spans sit at the harness level, over a logical clock that ticks
+     once per phase: the Monte Carlo drivers have no engine, and a logical
+     clock keeps the trace byte-identical for any --domains value (phases
+     run sequentially; only the work inside a phase fans out). *)
+  let observing = trace_out <> None || metrics_out <> None in
+  let obs = if observing then Collector.create () else Collector.noop in
+  let clock = ref 0. in
+  let phase label f =
+    let span =
+      Trace.span_open obs.Collector.trace ~time:!clock ~cat:"experiment"
+        ~args:[ ("seed", Trace.String (Int64.to_string seed)) ]
+        label
+    in
+    let result = f () in
+    clock := !clock +. 1.;
+    Trace.span_close obs.Collector.trace ~time:!clock span;
+    Metrics.incr obs.Collector.metrics "experiments.phases";
+    Metrics.incr obs.Collector.metrics ("phase." ^ label);
+    result
+  in
   Pool.with_pool ?domains (fun pool ->
       let world =
         if needs_world name then begin
@@ -151,32 +175,42 @@ let run_experiment name scale seed tsv domains =
         | None -> failwith ("experiment '" ^ name ^ "' needs a world but none was built")
       in
       match name with
-      | "fig1" -> run_fig1 ~pool ~scale ~seed
-      | "fig2" -> run_fig2 ~pool ()
-      | "fig3" -> run_fig3 ~pool ()
-      | "fig4" -> run_fig4 ~pool ~world:(world ()) ~seed
-      | "fig5" -> ignore (run_fig5 ~pool ~world:(world ()) ~scale ~seed)
+      | "fig1" -> phase "fig1" (fun () -> run_fig1 ~pool ~scale ~seed)
+      | "fig2" -> phase "fig2" (fun () -> run_fig2 ~pool ())
+      | "fig3" -> phase "fig3" (fun () -> run_fig3 ~pool ())
+      | "fig4" -> phase "fig4" (fun () -> run_fig4 ~pool ~world:(world ()) ~seed)
+      | "fig5" -> phase "fig5" (fun () -> ignore (run_fig5 ~pool ~world:(world ()) ~scale ~seed))
       | "fig6" ->
-          let honest, collusion = blame_results ~pool ~world:(world ()) ~scale ~seed in
-          run_fig6 ~pool ~honest ~collusion
-      | "bandwidth" -> run_bandwidth ~pool ()
-      | "ablations" -> run_ablations ~pool ~world:(world ()) ~scale ~seed
-      | "baselines" -> run_baselines ~pool ~world:(world ()) ~scale ~seed
-      | "chord" -> run_chord ~pool ~scale ~seed
-      | "secure-routing" -> run_secure_routing ~pool ~scale ~seed
+          phase "fig6" (fun () ->
+              let honest, collusion = blame_results ~pool ~world:(world ()) ~scale ~seed in
+              run_fig6 ~pool ~honest ~collusion)
+      | "bandwidth" -> phase "bandwidth" (fun () -> run_bandwidth ~pool ())
+      | "ablations" -> phase "ablations" (fun () -> run_ablations ~pool ~world:(world ()) ~scale ~seed)
+      | "baselines" -> phase "baselines" (fun () -> run_baselines ~pool ~world:(world ()) ~scale ~seed)
+      | "chord" -> phase "chord" (fun () -> run_chord ~pool ~scale ~seed)
+      | "secure-routing" -> phase "secure-routing" (fun () -> run_secure_routing ~pool ~scale ~seed)
       | "all" ->
-          run_fig1 ~pool ~scale ~seed;
-          run_fig2 ~pool ();
-          run_fig3 ~pool ();
-          run_fig4 ~pool ~world:(world ()) ~seed;
-          let honest, collusion = run_fig5 ~pool ~world:(world ()) ~scale ~seed in
-          run_fig6 ~pool ~honest ~collusion;
-          run_bandwidth ~pool ();
-          run_baselines ~pool ~world:(world ()) ~scale ~seed;
-          run_ablations ~pool ~world:(world ()) ~scale ~seed;
-          run_chord ~pool ~scale ~seed;
-          run_secure_routing ~pool ~scale ~seed
-      | other -> Printf.eprintf "unknown experiment %S\n" other)
+          phase "fig1" (fun () -> run_fig1 ~pool ~scale ~seed);
+          phase "fig2" (fun () -> run_fig2 ~pool ());
+          phase "fig3" (fun () -> run_fig3 ~pool ());
+          phase "fig4" (fun () -> run_fig4 ~pool ~world:(world ()) ~seed);
+          let honest, collusion =
+            phase "fig5" (fun () -> run_fig5 ~pool ~world:(world ()) ~scale ~seed)
+          in
+          phase "fig6" (fun () -> run_fig6 ~pool ~honest ~collusion);
+          phase "bandwidth" (fun () -> run_bandwidth ~pool ());
+          phase "baselines" (fun () -> run_baselines ~pool ~world:(world ()) ~scale ~seed);
+          phase "ablations" (fun () -> run_ablations ~pool ~world:(world ()) ~scale ~seed);
+          phase "chord" (fun () -> run_chord ~pool ~scale ~seed);
+          phase "secure-routing" (fun () -> run_secure_routing ~pool ~scale ~seed)
+      | other -> Printf.eprintf "unknown experiment %S\n" other);
+  if observing then begin
+    let filter = Export.filter_of_spec trace_filter in
+    Option.iter (fun path -> Export.write_trace ~path ?filter obs.Collector.trace) trace_out;
+    Option.iter
+      (fun path -> Export.write_metrics ~path ~time:!clock obs.Collector.metrics)
+      metrics_out
+  end
 
 open Cmdliner
 
@@ -212,10 +246,27 @@ let domains =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let trace_out =
+  let doc =
+    "Write the harness phase trace to $(docv): Chrome trace_event JSON for .json names, \
+     JSONL otherwise."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc = "Write the harness metrics snapshot as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_filter =
+  let doc = "Keep only trace records in these comma-separated categories." in
+  Arg.(value & opt (some string) None & info [ "trace-filter" ] ~docv:"CATS" ~doc)
+
 let cmd =
   let doc = "Reproduce the tables and figures of the Concilium evaluation" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run_experiment $ experiment $ scale $ seed $ tsv $ domains)
+    Term.(
+      const run_experiment $ experiment $ scale $ seed $ tsv $ domains $ trace_out
+      $ metrics_out $ trace_filter)
 
 let () = exit (Cmd.eval cmd)

@@ -10,6 +10,15 @@ type params = {
   probe_packet_bytes : int;
 }
 
+(* Per-message wire sizes shared with the protocol's live byte accounting,
+   so the analytic model and the simulator meter the same formats. *)
+let probe_packet_bytes = 30
+let advert_entry_bytes = 144 + 1 (* signed entry + path-loss summary *)
+let advert_overhead_bytes = 20 + 128 (* header + PSS-R signature *)
+let probe_stripe_bytes ~leaves = leaves * probe_packet_bytes
+let advert_bytes ~entries = advert_overhead_bytes + (entries * advert_entry_bytes)
+let heavy_burst_bytes ~rounds ~leaves = rounds * leaves * probe_packet_bytes
+
 let paper_params =
   {
     overlay_size = 100_000;
@@ -18,7 +27,7 @@ let paper_params =
     path_summary_bytes = 1;
     stripes_per_pair = 100;
     packets_per_stripe = 2;
-    probe_packet_bytes = 30;
+    probe_packet_bytes;
   }
 
 let expected_routing_entries p =

@@ -22,6 +22,32 @@ val paper_params : params
 (** 100,000 nodes, 16 leaves, 144 B entries, 1 B summaries, 100 stripes of
     2 x 30 B probes. *)
 
+(** {2 Per-message wire sizes}
+
+    Shared with the protocol's live byte accounting so the simulator and
+    this analytic model meter identical formats — and so an observability
+    layer can reconcile per-message-type counters against the protocol's
+    control-byte totals. *)
+
+val probe_packet_bytes : int
+(** One probe packet: IP + UDP headers + 16-bit nonce (30 B). *)
+
+val advert_entry_bytes : int
+(** One advertised entry: signed id + timestamp (144 B) plus its 1-byte
+    path-loss summary. *)
+
+val advert_overhead_bytes : int
+(** Fixed advertisement cost: 20 B header + 128 B PSS-R signature. *)
+
+val probe_stripe_bytes : leaves:int -> int
+(** Bytes for one lightweight probe round over a tree with [leaves]. *)
+
+val advert_bytes : entries:int -> int
+(** Bytes for one snapshot advertisement carrying [entries] entries. *)
+
+val heavy_burst_bytes : rounds:int -> leaves:int -> int
+(** Bytes for a heavyweight burst of [rounds] striped rounds. *)
+
 val expected_routing_entries : params -> float
 (** mu_phi + leaf-set size (~77 at paper scale). *)
 

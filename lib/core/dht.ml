@@ -63,6 +63,20 @@ let route_hops t ~from ~target =
   let dest = (Pastry.node t.pastry target).Pastry.id in
   max 0 (List.length (Pastry.route t.pastry ~from ~dest) - 1)
 
+type put_report = { replicas_written : int; put_failed_over : bool }
+
+type get_report = {
+  accusations : Accusation.t list;
+  replicas_read : int;
+  get_failed_over : bool;
+}
+
+(* Failover happened iff the key's root candidate is dead yet some live
+   candidate absorbed the operation: the root-first candidate order means
+   any such operation landed strictly further from the key than intended. *)
+let root_dead t ~key ~alive =
+  match replica_candidates t ~key with [] -> false | root :: _ -> not (alive root)
+
 let put t ~from ?(alive = fun _ -> true) ?(copies = 1) ~accused_key accusation ~hops =
   let key = key_of_public_key accused_key in
   let record = record_key accusation in
@@ -78,12 +92,16 @@ let put t ~from ?(alive = fun _ -> true) ?(copies = 1) ~accused_key accusation ~
         hops := !hops + route_hops t ~from ~target:replica;
         Hashtbl.replace t.stores.(replica) record (key, accusation))
       replicas
-  done
+  done;
+  {
+    replicas_written = List.length replicas;
+    put_failed_over = replicas <> [] && root_dead t ~key ~alive;
+  }
 
 let get t ~from ?(alive = fun _ -> true) ~accused_key ~hops () =
   let key = key_of_public_key accused_key in
   match live_replicas t ~key ~alive with
-  | [] -> []
+  | [] -> { accusations = []; replicas_read = 0; get_failed_over = false }
   | (first :: _) as replicas ->
       hops := !hops + route_hops t ~from ~target:first;
       (* Merge across the surviving replicas: a replica that lost its store
@@ -91,16 +109,20 @@ let get t ~from ?(alive = fun _ -> true) ~accused_key ~hops () =
          survivor lost the record. The store is keyed by idempotence
          record; sorting on it makes the result hash-seed-independent. *)
       let merged = Hashtbl.create 8 in
-      List.iter
-        (fun replica ->
-          Hashtbl.iter
-            (fun record (stored_key, accusation) ->
-              if Id.equal stored_key key then Hashtbl.replace merged record accusation)
-            t.stores.(replica))
-        replicas;
-      Hashtbl.fold (fun record accusation acc -> (record, accusation) :: acc) merged []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      |> List.map snd
+      let stash record (stored_key, accusation) =
+        if Id.equal stored_key key then Hashtbl.replace merged record accusation
+      in
+      List.iter (fun replica -> Hashtbl.iter stash t.stores.(replica)) replicas;
+      let accusations =
+        Hashtbl.fold (fun record accusation acc -> (record, accusation) :: acc) merged []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map snd
+      in
+      {
+        accusations;
+        replicas_read = List.length replicas;
+        get_failed_over = root_dead t ~key ~alive;
+      }
 
 let drop_replica t ~node = Hashtbl.reset t.stores.(node)
 

@@ -23,6 +23,19 @@ val replica_nodes : t -> key:Id.t -> int list
 (** The nodes responsible for a key: its root and the root's nearest
     leaf-set members, [replication] in total. *)
 
+type put_report = {
+  replicas_written : int;  (** live replicas the record landed on *)
+  put_failed_over : bool;
+      (** the key's root candidate was dead, so the write landed on
+          next-closest live leaf-set members instead *)
+}
+
+type get_report = {
+  accusations : Accusation.t list;
+  replicas_read : int;  (** live replicas merged into the result *)
+  get_failed_over : bool;  (** the read bypassed a dead root candidate *)
+}
+
 val put :
   t ->
   from:int ->
@@ -31,7 +44,7 @@ val put :
   accused_key:Pki.public_key ->
   Accusation.t ->
   hops:int ref ->
-  unit
+  put_report
 (** Route the accusation from node [from] to every replica of the accused's
     key, storing it there; duplicate accusations (same accuser, accused,
     drop time) are idempotent. [hops] accumulates overlay hops consumed.
@@ -41,7 +54,8 @@ val put :
     members, keeping [replication] surviving copies whenever enough of the
     leaf set is up. [copies] > 1 models control-plane duplication: the
     whole put is delivered that many times — hops are re-paid, stored state
-    is unchanged (idempotence). *)
+    is unchanged (idempotence). The report says how many live replicas
+    absorbed the write and whether it failed over past a dead root. *)
 
 val get :
   t ->
@@ -50,7 +64,7 @@ val get :
   accused_key:Pki.public_key ->
   hops:int ref ->
   unit ->
-  Accusation.t list
+  get_report
 (** Fetch accusations for a public key, merged across the live replicas
     ([alive] defaults to everyone): a replica that lost its store degrades
     the read only if every survivor lost the record too. Hops are metered

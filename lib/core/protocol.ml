@@ -8,6 +8,9 @@ module Probing = Concilium_tomography.Probing
 module Logical_tree = Concilium_tomography.Logical_tree
 module Sha256 = Concilium_crypto.Sha256
 module Prng = Concilium_util.Prng
+module Obs = Concilium_obs.Collector
+module Trace = Concilium_obs.Trace
+module Metrics = Concilium_obs.Metrics
 
 let log_source = Logs.Src.create "concilium.protocol" ~doc:"Concilium protocol runtime"
 
@@ -54,8 +57,6 @@ let default_config =
     evidence_ttl = Float.infinity;
   }
 
-let probe_packet_bytes = 30 (* IP + UDP headers + 16-bit nonce, Section 4.4 *)
-
 type diagnosis =
   | Diagnosed of Stewardship.resolution
   | Insufficient_evidence of { judge : int; usable_rounds : int; required_rounds : int }
@@ -92,11 +93,19 @@ type t = {
   control_bytes : int array;
   (* Previous advertised per-peer path status, for snapshot diffs. *)
   last_advertised : bool array option array;
+  obs : Obs.t;
   mutable message_seq : int;
 }
 
 let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> true)
-    ?(control_latency = fun ~time:_ -> 0.) ?(put_copies = fun ~time:_ -> 1) config ~behavior =
+    ?(control_latency = fun ~time:_ -> 0.) ?(put_copies = fun ~time:_ -> 1) ?(obs = Obs.noop)
+    config ~behavior =
+  (* Queue-depth sampling rides the engine's passive push hook: installed
+     only for a recording collector, so the uninstrumented engine keeps its
+     single-branch cost. *)
+  if Obs.enabled obs then
+    Engine.set_on_push engine (fun ~pending ->
+        Metrics.observe obs.Obs.metrics "engine.queue_depth" (float_of_int pending));
   {
     world;
     engine;
@@ -112,12 +121,14 @@ let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> tru
     dht = Dht.create ~pastry:world.World.pastry ~replication:config.dht_replication;
     control_bytes = Array.make (World.node_count world) 0;
     last_advertised = Array.make (World.node_count world) None;
+    obs;
     message_seq = 0;
   }
 
 let observations t = t.observations
 let dht t = t.dht
 let world t = t.world
+let obs t = t.obs
 
 (* ---------- Lightweight probing ---------- *)
 
@@ -172,7 +183,6 @@ let run_probe_round t v =
      exchange, a diff of changed path summaries after. *)
   let leaf_count = Array.length leaves in
   let peer_count = Array.length t.world.World.peers.(v) in
-  let entry_bytes = 145 and header_and_signature = 20 + 128 in
   let advert_entries =
     match t.last_advertised.(v) with
     | None -> leaf_count
@@ -184,13 +194,24 @@ let run_probe_round t v =
         !changed
   in
   t.last_advertised.(v) <- Some (Array.copy round.Probing.acked);
-  t.control_bytes.(v) <-
-    t.control_bytes.(v)
-    + (leaf_count * probe_packet_bytes)
-    + (peer_count * (header_and_signature + (advert_entries * entry_bytes)));
+  let stripe_bytes = Bandwidth.probe_stripe_bytes ~leaves:leaf_count in
+  let advert_bytes = peer_count * Bandwidth.advert_bytes ~entries:advert_entries in
+  t.control_bytes.(v) <- t.control_bytes.(v) + stripe_bytes + advert_bytes;
+  Metrics.incr t.obs.Obs.metrics ~by:stripe_bytes "bytes.probe_stripe";
+  Metrics.incr t.obs.Obs.metrics ~by:advert_bytes "bytes.advert_diff";
+  Metrics.incr t.obs.Obs.metrics "probe.light_rounds";
+  let any_ack = Array.exists Fun.id round.Probing.acked in
+  let round_span =
+    Trace.span_open t.obs.Obs.trace ~time:now ~cat:"probe"
+      ~args:[ ("prober", Trace.Int v) ]
+      "probe.round"
+  in
+  Trace.span_close t.obs.Obs.trace ~time:now
+    ~args:[ ("any_ack", Trace.Bool any_ack) ]
+    round_span;
   (* A totally silent round (every ack timed out) drives the caller's
      probe backoff; any ack resets it. *)
-  Array.exists Fun.id round.Probing.acked
+  any_ack
 
 (* Heavyweight tomography (Section 3.2): fired when application messages go
    unacknowledged. Many striped rounds, MINC inference, and per-link
@@ -205,12 +226,18 @@ let run_probe_round t v =
    the window it was gathered for. *)
 let heavyweight_round_spacing = 1.0
 
-let run_heavyweight_burst t v ~stamp =
+let run_heavyweight_burst t v ~stamp ~parent =
   if t.config.heavyweight_rounds <= 0 then 0
   else begin
     let tree = t.world.World.trees.(v) in
     let logical = t.world.World.logical.(v) in
     let now = Engine.now t.engine in
+    let trace = t.obs.Obs.trace in
+    let burst_span =
+      Trace.span_open trace ~time:now ~cat:"probe" ~parent
+        ~args:[ ("judge", Trace.Int v) ]
+        "probe.heavy_burst"
+    in
     let loss_of_link link = Link_state.loss_rate t.link_state link in
     let leaves = Concilium_tomography.Tree.leaves tree in
     let behavior leaf_index =
@@ -226,11 +253,19 @@ let run_heavyweight_burst t v ~stamp =
         rounds := Probing.probe_round ~rng:t.rng ~loss_of_link ~tree ~behavior () :: !rounds
     done;
     let usable = List.length !rounds in
-    t.control_bytes.(v) <- t.control_bytes.(v) + (usable * Array.length leaves * probe_packet_bytes);
+    let burst_bytes =
+      Bandwidth.heavy_burst_bytes ~rounds:usable ~leaves:(Array.length leaves)
+    in
+    t.control_bytes.(v) <- t.control_bytes.(v) + burst_bytes;
+    Metrics.incr t.obs.Obs.metrics ~by:burst_bytes "bytes.heavy_probe";
+    Metrics.incr t.obs.Obs.metrics "probe.heavy_bursts";
     let required = min t.config.min_heavyweight_rounds t.config.heavyweight_rounds in
     if usable >= required && usable > 0 then begin
       let rounds = Array.of_list (List.rev !rounds) in
-      let estimate = Concilium_tomography.Minc.infer_from_rounds logical rounds in
+      let estimate =
+        Concilium_tomography.Minc.infer_from_rounds ~trace ~parent:burst_span ~time:now
+          logical rounds
+      in
       let flip = match t.behavior v with Probe_flipper -> true | _ -> false in
       (* Offline leaves' chains carry no information (Section 3.2's
          disambiguation): skip them. *)
@@ -261,6 +296,9 @@ let run_heavyweight_burst t v ~stamp =
         end
       done
     end;
+    Trace.span_close trace ~time:now
+      ~args:[ ("usable_rounds", Trace.Int usable); ("required", Trace.Int required) ]
+      burst_span;
     usable
   end
 
@@ -326,10 +364,12 @@ let exchange_advertisements t =
   for advertiser = 0 to World.node_count t.world - 1 do
     if t.availability ~time:now advertiser then begin
       let advertisement = build_advertisement t advertiser in
-      t.control_bytes.(advertiser) <-
-        t.control_bytes.(advertiser)
-        + (Array.length t.world.World.peers.(advertiser)
-          * Concilium_tomography.Snapshot.wire_bytes advertisement.Validation.snapshot);
+      let snapshot_bytes =
+        Array.length t.world.World.peers.(advertiser)
+        * Concilium_tomography.Snapshot.wire_bytes advertisement.Validation.snapshot
+      in
+      t.control_bytes.(advertiser) <- t.control_bytes.(advertiser) + snapshot_bytes;
+      Metrics.incr t.obs.Obs.metrics ~by:snapshot_bytes "bytes.snapshot_exchange";
       Array.iter
         (fun validator ->
           if t.availability ~time:now validator then begin
@@ -445,11 +485,28 @@ let evaluate_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
    when it crosses m. Evidence past its re-verification TTL is expired
    first; publication fails over across the accused key's live DHT
    replicas. *)
-let record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time =
+let verdict_label = function Blame.Guilty -> "guilty" | Blame.Innocent -> "innocent"
+
+let record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time ~episode =
+  let metrics = t.obs.Obs.metrics in
+  let trace = t.obs.Obs.trace in
   let window = window_for t ~judge ~suspect in
   Verdict_window.record window { Verdict_window.verdict; blame; drop_time; evidence };
   if Float.is_finite t.config.evidence_ttl then
     Verdict_window.expire window ~before:(drop_time -. t.config.evidence_ttl);
+  Metrics.observe metrics "verdict_window.occupancy"
+    (float_of_int (Verdict_window.length window));
+  (match verdict with
+  | Blame.Guilty -> Metrics.incr metrics "verdict.guilty"
+  | Blame.Innocent -> Metrics.incr metrics "verdict.innocent");
+  Trace.instant trace ~time:(Engine.now t.engine) ~cat:"episode" ~span:episode
+    ~args:
+      [
+        ("judge", Trace.Int judge);
+        ("suspect", Trace.Int suspect);
+        ("verdict", Trace.String (verdict_label verdict));
+      ]
+    "episode.verdict";
   if
     (match verdict with Blame.Guilty -> true | Blame.Innocent -> false)
     && Verdict_window.should_accuse window ~m:t.config.accusation_m
@@ -480,11 +537,31 @@ let record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time =
               (Verdict_window.guilty_count window));
         let hops = ref 0 in
         let time = Engine.now t.engine in
-        Dht.put t.dht ~from:judge
-          ~alive:(fun node -> t.availability ~time node)
-          ~copies:(t.put_copies ~time)
-          ~accused_key:(World.public_key_of t.world suspect)
-          accusation ~hops
+        let report =
+          Dht.put t.dht ~from:judge
+            ~alive:(fun node -> t.availability ~time node)
+            ~copies:(t.put_copies ~time)
+            ~accused_key:(World.public_key_of t.world suspect)
+            accusation ~hops
+        in
+        Metrics.incr metrics "dht.puts";
+        Metrics.incr metrics ~by:report.Dht.replicas_written "dht.put_replicas";
+        Trace.instant trace ~time ~cat:"episode" ~span:episode
+          ~args:
+            [
+              ("judge", Trace.Int judge);
+              ("suspect", Trace.Int suspect);
+              ("replicas", Trace.Int report.Dht.replicas_written);
+            ]
+          "episode.accusation";
+        if report.Dht.put_failed_over then begin
+          Metrics.incr metrics "dht.put_failovers";
+          (* The chaos transcript extracts these instants to report the
+             engine time at which each DHT write failed over. *)
+          Trace.instant trace ~time ~cat:"dht"
+            ~args:[ ("judge", Trace.Int judge); ("suspect", Trace.Int suspect) ]
+            "dht.put.failover"
+        end
     | exception Invalid_argument _ ->
         (* The archived evidence no longer clears the threshold (probe data
            may have aged out of the window); the accusation is not filed. *)
@@ -499,10 +576,20 @@ let guilty_count t ~judge ~suspect =
 let fetch_accusations t ~from ~accused =
   let hops = ref 0 in
   let time = Engine.now t.engine in
-  Dht.get t.dht ~from
-    ~alive:(fun node -> t.availability ~time node)
-    ~accused_key:(World.public_key_of t.world accused)
-    ~hops ()
+  let report =
+    Dht.get t.dht ~from
+      ~alive:(fun node -> t.availability ~time node)
+      ~accused_key:(World.public_key_of t.world accused)
+      ~hops ()
+  in
+  Metrics.incr t.obs.Obs.metrics "dht.gets";
+  if report.Dht.get_failed_over then begin
+    Metrics.incr t.obs.Obs.metrics "dht.get_failovers";
+    Trace.instant t.obs.Obs.trace ~time ~cat:"dht"
+      ~args:[ ("reader", Trace.Int from); ("accused", Trace.Int accused) ]
+      "dht.get.failover"
+  end;
+  report.Dht.accusations
 
 (* ---------- Message lifecycle ---------- *)
 
@@ -529,12 +616,45 @@ let transmit_over_path t path =
   in
   walk 0
 
+let drop_label = function
+  | None -> "none"
+  | Some (Dropped_by_overlay node) -> Printf.sprintf "overlay:%d" node
+  | Some (Dropped_on_ip_link link) -> Printf.sprintf "ip_link:%d" link
+  | Some (Ack_lost_on_link link) -> Printf.sprintf "ack_link:%d" link
+  | Some (Hop_offline node) -> Printf.sprintf "offline:%d" node
+
 let send_message t ~from ~dest ~payload ~on_outcome =
   ignore payload;
+  let trace = t.obs.Obs.trace in
+  let metrics = t.obs.Obs.metrics in
   let message_id = fresh_message_id t ~from ~dest in
   let route = World.overlay_route t.world ~from ~dest in
   let hops = Array.of_list route in
   let hop_count = Array.length hops in
+  Metrics.incr metrics "msg.sent";
+  let msg_span =
+    Trace.span_open trace ~time:(Engine.now t.engine) ~cat:"protocol"
+      ~args:
+        [
+          ("from", Trace.Int from);
+          ("id", Trace.String message_id);
+          ("route_hops", Trace.Int hop_count);
+        ]
+      "message"
+  in
+  let finish outcome =
+    Metrics.observe metrics "msg.attempts" (float_of_int outcome.attempts);
+    Metrics.incr metrics (if outcome.delivered then "msg.delivered" else "msg.dropped");
+    Trace.span_close trace ~time:(Engine.now t.engine)
+      ~args:
+        [
+          ("delivered", Trace.Bool outcome.delivered);
+          ("attempts", Trace.Int outcome.attempts);
+          ("drop", Trace.String (drop_label outcome.drop));
+        ]
+      msg_span;
+    on_outcome outcome
+  in
   (* One delivery attempt: walk the route, recording each hop's fate. The
      message id is stable across retransmits, so every attempt's
      commitments name the same message. *)
@@ -615,7 +735,7 @@ let send_message t ~from ~dest ~payload ~on_outcome =
       ack_walk (hop_count - 2)
     end;
     if !ack_ok then
-      on_outcome
+      finish
         {
           message_id;
           delivered = true;
@@ -632,12 +752,32 @@ let send_message t ~from ~dest ~payload ~on_outcome =
         (t.config.retry_base_delay *. (t.config.retry_backoff ** float_of_int n))
         +. t.control_latency ~time:now
       in
-      Engine.schedule t.engine ~delay (fun _ -> attempt (n + 1))
+      Metrics.incr metrics "msg.retransmits";
+      (* The backoff span closes inside the retransmit's own scheduled
+         action — tracing piggybacks on the event the retry needs anyway,
+         adding none of its own. *)
+      let backoff_span =
+        Trace.span_open trace ~time:now ~cat:"protocol" ~parent:msg_span
+          ~args:[ ("attempt", Trace.Int (n + 1)); ("delay", Trace.Float delay) ]
+          "retransmit.backoff"
+      in
+      Engine.schedule t.engine ~delay (fun engine ->
+          Trace.span_close trace ~time:(Engine.now engine) backoff_span;
+          attempt (n + 1))
     end
     else diagnose ~attempts:(n + 1) ~drop_time:now ~fates ~commitments ~drop:!drop
   and diagnose ~attempts ~drop_time ~fates ~commitments ~drop =
     (* Retries exhausted: every steward that saw the final attempt judges
        its next hop once the probe window closes. *)
+    let episode =
+      Trace.span_open trace ~time:drop_time ~cat:"episode" ~parent:msg_span
+        ~args:[ ("id", Trace.String message_id); ("attempts", Trace.Int attempts) ]
+        "episode"
+    in
+    Trace.instant trace ~time:drop_time ~cat:"episode" ~span:episode
+      ~args:[ ("drop", Trace.String (drop_label drop)) ]
+      "episode.detect";
+    Metrics.incr metrics "episode.started";
     let judge_at =
       drop_time +. t.config.blame.Blame.delta +. t.control_latency ~time:drop_time
     in
@@ -653,7 +793,7 @@ let send_message t ~from ~dest ~payload ~on_outcome =
           if
             fates.(i).received && fates.(i).forwarded
             && t.availability ~time:jt hops.(i)
-          then usable.(i) <- run_heavyweight_burst t hops.(i) ~stamp
+          then usable.(i) <- run_heavyweight_burst t hops.(i) ~stamp ~parent:episode
         done;
         let judgments = Hashtbl.create 8 in
         (* Window charges deferred until after the revision walk (phase B). *)
@@ -731,8 +871,23 @@ let send_message t ~from ~dest ~payload ~on_outcome =
                     end
                   in
                   let verdict, blame, evidence =
-                    evaluate_suspect t ~judge:a ~suspect:b ~links:egress_links ~drop_time
-                      ~commitment
+                    let blame_span =
+                      Trace.span_open trace ~time:jt ~cat:"blame" ~parent:episode
+                        ~args:[ ("judge", Trace.Int a); ("suspect", Trace.Int b) ]
+                        "blame.evaluate"
+                    in
+                    let ((verdict, blame, _) as result) =
+                      evaluate_suspect t ~judge:a ~suspect:b ~links:egress_links
+                        ~drop_time ~commitment
+                    in
+                    Trace.span_close trace ~time:jt
+                      ~args:
+                        [
+                          ("blame", Trace.Float blame);
+                          ("verdict", Trace.String (verdict_label verdict));
+                        ]
+                      blame_span;
+                    result
                   in
                   if evidence.Accusation.link_votes = [] && usable.(i) < required then begin
                     (* The burst was starved (chaos) and no archived probes
@@ -761,19 +916,29 @@ let send_message t ~from ~dest ~payload ~on_outcome =
         for i = hop_count - 2 downto 0 do
           if Hashtbl.mem judgments hops.(i) then anchor := Some hops.(i)
         done;
+        let resolve_with ~first_judge =
+          let resolve_span =
+            Trace.span_open trace ~time:jt ~cat:"stewardship" ~parent:episode
+              ~args:[ ("first_judge", Trace.Int first_judge) ]
+              "stewardship.resolve"
+          in
+          let resolution =
+            Stewardship.resolve ~first_judge ~judgment_of:(Hashtbl.find_opt judgments)
+          in
+          Trace.span_close trace ~time:jt
+            ~args:
+              [ ("exonerated", Trace.Int (List.length resolution.Stewardship.exonerated)) ]
+            resolve_span;
+          resolution
+        in
         let diagnosis =
           match !anchor with
-          | Some first_judge ->
-              Diagnosed
-                (Stewardship.resolve ~first_judge ~judgment_of:(Hashtbl.find_opt judgments))
+          | Some first_judge -> Diagnosed (resolve_with ~first_judge)
           | None -> (
               match (!starved, !no_commitment) with
               | Some (judge, usable_rounds), None ->
                   Insufficient_evidence { judge; usable_rounds; required_rounds = required }
-              | _ ->
-                  Diagnosed
-                    (Stewardship.resolve ~first_judge:hops.(0)
-                       ~judgment_of:(Hashtbl.find_opt judgments)))
+              | _ -> Diagnosed (resolve_with ~first_judge:hops.(0)))
         in
         (* Phase B: charge verdict windows, honoring exonerations from the
            revision walk -- an exonerated suspect's Guilty verdict is
@@ -791,9 +956,21 @@ let send_message t ~from ~dest ~payload ~on_outcome =
               | Blame.Guilty when List.mem suspect exonerated -> Blame.Innocent
               | Blame.Guilty | Blame.Innocent -> verdict
             in
-            record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time)
+            record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time ~episode)
           (List.rev !pending);
-        on_outcome
+        (match diagnosis with
+        | Diagnosed _ -> Metrics.incr metrics "episode.diagnosed"
+        | Insufficient_evidence _ -> Metrics.incr metrics "episode.insufficient_evidence");
+        Trace.span_close trace ~time:jt
+          ~args:
+            [
+              ( "diagnosed",
+                Trace.Bool
+                  (match diagnosis with Diagnosed _ -> true | Insufficient_evidence _ -> false)
+              );
+            ]
+          episode;
+        finish
           {
             message_id;
             delivered = false;

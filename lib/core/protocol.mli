@@ -98,6 +98,7 @@ val create :
   ?availability:(time:float -> int -> bool) ->
   ?control_latency:(time:float -> float) ->
   ?put_copies:(time:float -> int) ->
+  ?obs:Concilium_obs.Collector.t ->
   config ->
   behavior:(int -> behavior) ->
   t
@@ -114,7 +115,25 @@ val create :
     {!Concilium_netsim.Chaos.control_latency}. [put_copies] (default 1)
     reports how many duplicate deliveries a DHT put suffers at a given
     time; wire it to {!Concilium_netsim.Chaos.put_copies} to check
-    duplication-safety (puts are idempotent). *)
+    duplication-safety (puts are idempotent).
+
+    [obs] (default {!Concilium_obs.Collector.noop}) receives the runtime's
+    trace and metrics. Spans: ["message"] per send, with
+    ["retransmit.backoff"] children and, when retries exhaust, an
+    ["episode"] child covering the diagnosis (["probe.heavy_burst"] with a
+    nested ["minc.solve"], ["blame.evaluate"], ["stewardship.resolve"];
+    stage instants ["episode.detect"], ["episode.verdict"],
+    ["episode.accusation"]); lightweight ["probe.round"] spans; DHT
+    failover instants ["dht.put.failover"] / ["dht.get.failover"].
+    Counters [bytes.probe_stripe + bytes.advert_diff +
+    bytes.snapshot_exchange + bytes.heavy_probe] reconcile exactly with the
+    {!control_bytes_sent} totals. A recording collector also installs an
+    {!Concilium_netsim.Engine.set_on_push} hook sampling queue depth into
+    the ["engine.queue_depth"] histogram. Instrumentation draws no
+    randomness and schedules no events: results are identical with
+    observability on or off. *)
+
+val obs : t -> Concilium_obs.Collector.t
 
 val start_probing : t -> horizon:float -> unit
 (** Schedule every node's lightweight probe loop up to the horizon. *)

@@ -4,7 +4,7 @@ let cell_f x = Printf.sprintf "%.4f" x
 let cell_pct x = Printf.sprintf "%.2f%%" (100. *. x)
 let cell_i = string_of_int
 
-let print table =
+let to_string table =
   let columns = List.length table.header in
   let widths = Array.make (max 1 columns) 0 in
   List.iter
@@ -21,10 +21,20 @@ let print table =
            else String.make (max 0 pad) ' ' ^ cell)
          row)
   in
-  Printf.printf "\n== %s ==\n" table.title;
-  print_endline (render table.header);
-  print_endline (String.make (String.length (render table.header)) '-');
-  List.iter (fun row -> print_endline (render row)) table.rows
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "\n== %s ==\n" table.title);
+  Buffer.add_string buf (render table.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (String.length (render table.header)) '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render row);
+      Buffer.add_char buf '\n')
+    table.rows;
+  Buffer.contents buf
+
+let print table = print_string (to_string table)
 
 let slug title =
   let buffer = Buffer.create 48 in
@@ -65,9 +75,11 @@ let tsv_dir = ref None
 let set_tsv_dir dir = tsv_dir := dir
 
 let emit table =
-  print table;
-  match !tsv_dir with
-  | Some dir ->
-      let path = write_tsv ~dir table in
-      Printf.printf "(written to %s)\n" path
-  | None -> ()
+  let trailer =
+    match !tsv_dir with
+    | Some dir ->
+        let path = write_tsv ~dir table in
+        Printf.sprintf "(written to %s)\n" path
+    | None -> ""
+  in
+  print_string (to_string table ^ trailer)

@@ -4,7 +4,12 @@
 
 type table = { title : string; header : string list; rows : string list list }
 
+val to_string : table -> string
+(** Render the table (title banner, aligned header, rule, rows) as one
+    string ending in a newline. Library code renders; binaries print. *)
+
 val print : table -> unit
+(** [print_string (to_string table)] — a single stdout write. *)
 
 val write_tsv : dir:string -> table -> string
 (** Write the table as a TSV file (named from a slug of the title) under

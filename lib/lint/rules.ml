@@ -40,6 +40,11 @@ let is_prng_module path = basename path = "prng.ml" || basename path = "prng.mli
 let is_pool_module path = basename path = "pool.ml" || basename path = "pool.mli"
 
 let in_lib path = in_tree "lib" path
+
+(* Libraries that are allowed to write to stdout: the lint driver reports
+   through it, and the observability exporters own the output channel. *)
+let in_quiet_lib path =
+  in_lib path && (not (in_tree "lint" path)) && not (in_tree "obs" path)
 let in_lib_or_bin path = in_lib path || in_tree "bin" path
 let everywhere _ = true
 
@@ -167,6 +172,16 @@ let line_rules =
         "raw Domain/Mutex/Condition use outside the pool loses its \
          determinism contract; fan out via Concilium_util.Pool";
       applies = (fun path -> not (is_pool_module path));
+    };
+    {
+      id = "stdout-printf";
+      family = Hygiene;
+      severity = Error;
+      pattern = re {|\b\(Printf\.printf\|print_endline\|Format\.printf\)\b|};
+      message =
+        "library code must not write to stdout ad hoc; render into a Buffer \
+         (or return a string) and let the binary emit it in one write";
+      applies = in_quiet_lib;
     };
     {
       id = "tab-indent";

@@ -1,4 +1,5 @@
 module Prng = Concilium_util.Prng
+module Trace = Concilium_obs.Trace
 
 type fault =
   | Link_flap of { link : int; start : float; duration : float }
@@ -248,7 +249,8 @@ let release t link_state link =
       end
       else Hashtbl.replace t.claims link (count - 1, prior)
 
-let compile ?(on_replica_loss = fun ~node:_ ~time:_ -> ()) ~engine ~link_state plan =
+let compile ?(obs = Trace.noop) ?(on_replica_loss = fun ~node:_ ~time:_ -> ()) ~engine
+    ~link_state plan =
   let crash_intervals = Hashtbl.create 16 in
   let delays = ref [] and dups = ref [] in
   let max_node = ref (-1) in
@@ -260,26 +262,57 @@ let compile ?(on_replica_loss = fun ~node:_ ~time:_ -> ()) ~engine ~link_state p
        compiled mid-run) fire immediately rather than raising. *)
     Engine.schedule_at engine ~time:(Float.max time (Engine.now engine)) action
   in
-  let claim_interval links ~start ~duration =
-    at start (fun _ -> Array.iter (fun link -> claim t link_state link) links);
-    at (start +. duration) (fun _ -> Array.iter (fun link -> release t link_state link) links)
+  (* Link faults trace from inside the already-scheduled engine actions, so
+     tracing adds no events and cannot perturb event ordering; window faults
+     (crash, delay, duplication) compile to queryable intervals rather than
+     events, so they trace here at compile time with their plan times. *)
+  let claim_interval ~family links ~start ~duration =
+    at start (fun engine ->
+        Trace.instant obs ~time:(Engine.now engine) ~cat:"chaos"
+          ~args:[ ("links", Trace.Int (Array.length links)) ]
+          (family ^ ".start");
+        Array.iter (fun link -> claim t link_state link) links);
+    at (start +. duration) (fun engine ->
+        Trace.instant obs ~time:(Engine.now engine) ~cat:"chaos"
+          ~args:[ ("links", Trace.Int (Array.length links)) ]
+          (family ^ ".end");
+        Array.iter (fun link -> release t link_state link) links)
+  in
+  let window_fault ~family ~start ~duration args =
+    Trace.instant obs ~time:start ~cat:"chaos"
+      ~args:(("duration", Trace.Float duration) :: args)
+      family
   in
   List.iter
     (fun fault ->
       match fault with
-      | Link_flap { link; start; duration } -> claim_interval [| link |] ~start ~duration
-      | Burst_loss { links; start; duration } -> claim_interval links ~start ~duration
-      | Partition { cut; start; duration } -> claim_interval cut ~start ~duration
+      | Link_flap { link; start; duration } ->
+          claim_interval ~family:"chaos.link_flap" [| link |] ~start ~duration
+      | Burst_loss { links; start; duration } ->
+          claim_interval ~family:"chaos.burst_loss" links ~start ~duration
+      | Partition { cut; start; duration } ->
+          claim_interval ~family:"chaos.partition" cut ~start ~duration
       | Node_crash { node; start; duration } ->
+          window_fault ~family:"chaos.node_crash" ~start ~duration
+            [ ("node", Trace.Int node) ];
           max_node := max !max_node node;
           let existing =
             match Hashtbl.find_opt crash_intervals node with Some l -> l | None -> []
           in
           Hashtbl.replace crash_intervals node ((start, start +. duration) :: existing)
-      | Replica_loss { node; time } -> at time (fun engine -> on_replica_loss ~node ~time:(Engine.now engine))
+      | Replica_loss { node; time } ->
+          at time (fun engine ->
+              Trace.instant obs ~time:(Engine.now engine) ~cat:"chaos"
+                ~args:[ ("node", Trace.Int node) ]
+                "chaos.replica_loss";
+              on_replica_loss ~node ~time:(Engine.now engine))
       | Control_delay { start; duration; extra } ->
+          window_fault ~family:"chaos.control_delay" ~start ~duration
+            [ ("extra", Trace.Float extra) ];
           delays := (start, start +. duration, extra) :: !delays
       | Control_duplication { start; duration; copies } ->
+          window_fault ~family:"chaos.control_duplication" ~start ~duration
+            [ ("copies", Trace.Int copies) ];
           dups := (start, start +. duration, copies) :: !dups)
     plan;
   let down =

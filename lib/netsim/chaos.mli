@@ -97,6 +97,7 @@ type t
     queryable. *)
 
 val compile :
+  ?obs:Concilium_obs.Trace.t ->
   ?on_replica_loss:(node:int -> time:float -> unit) ->
   engine:Engine.t ->
   link_state:Link_state.t ->
@@ -107,7 +108,14 @@ val compile :
     only when its last active fault ends, and a link already bad for other
     reasons (e.g. a replayed {!Failures} history) is not repaired by chaos.
     Faults whose start precedes the engine clock are clamped to fire
-    immediately. [on_replica_loss] fires at each {!Replica_loss} time. *)
+    immediately. [on_replica_loss] fires at each {!Replica_loss} time.
+
+    [obs] (default noop) traces every fault under category ["chaos"]:
+    link-family faults emit start/end instants from inside the already-
+    scheduled engine actions (tracing adds no engine events, so it cannot
+    perturb the run); window faults (crash, control delay/duplication) are
+    interval queries rather than events and trace once at compile time with
+    their plan start times. *)
 
 val node_online : t -> time:float -> int -> bool
 (** [false] while a {!Node_crash} interval covers [time]. Compose with

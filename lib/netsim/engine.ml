@@ -8,9 +8,14 @@ and t = {
   mutable next_seq : int;
   mutable data : event array;
   mutable size : int;
+  mutable on_push : (pending:int -> unit) option;
+      (* observability hook: queue-depth sampling. One branch when unset. *)
 }
 
-let create ?(start = 0.) () = { clock = start; next_seq = 0; data = [||]; size = 0 }
+let create ?(start = 0.) () =
+  { clock = start; next_seq = 0; data = [||]; size = 0; on_push = None }
+
+let set_on_push t f = t.on_push <- Some f
 
 (* Placeholder stored in vacated slots: a popped event's action closure can
    capture large world state, and anything left reachable in [data] beyond
@@ -55,7 +60,8 @@ let push t event =
   end;
   t.data.(t.size) <- event;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t (t.size - 1);
+  match t.on_push with None -> () | Some f -> f ~pending:t.size
 
 let pop t =
   if t.size = 0 then None

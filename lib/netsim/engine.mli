@@ -16,6 +16,12 @@ val schedule : t -> delay:float -> (t -> unit) -> unit
 
 val pending : t -> int
 
+val set_on_push : t -> (pending:int -> unit) -> unit
+(** Observability hook, called with the queue depth after every schedule.
+    The hook must be passive (no scheduling, no randomness): it exists so a
+    metrics sink can sample queue depth without perturbing the run. Unset
+    by default, costing one branch per push. *)
+
 val run : t -> unit
 (** Process events until the heap is empty. *)
 

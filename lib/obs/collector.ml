@@ -1,0 +1,12 @@
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let create () = { trace = Trace.create (); metrics = Metrics.create () }
+let noop = { trace = Trace.noop; metrics = Metrics.noop }
+let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics
+let shards n = Array.init n (fun _ -> create ())
+
+let merge shards =
+  {
+    trace = Trace.merge (Array.map (fun shard -> shard.trace) shards);
+    metrics = Metrics.merge (Array.map (fun shard -> shard.metrics) shards);
+  }

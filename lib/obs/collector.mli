@@ -1,0 +1,25 @@
+(** A trace sink paired with a metrics registry — the unit of observability
+    handed to instrumented subsystems, and the unit of per-shard
+    pre-allocation for deterministic parallel runs.
+
+    Allocate one collector per shard with {!shards} {e before} fanning work
+    out (alongside {!Concilium_util.Prng.split_n} streams), let each shard
+    record into its own collector, then {!merge} in fixed shard order: the
+    merged trace and metrics are byte-identical for any domain count. *)
+
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+val create : unit -> t
+(** A recording trace + metrics pair. *)
+
+val noop : t
+(** The no-op pair: instrumentation behind it costs one branch. *)
+
+val enabled : t -> bool
+
+val shards : int -> t array
+(** [n] independent recording collectors, one per shard. *)
+
+val merge : t array -> t
+(** Merge per-shard collectors in index order ({!Trace.merge},
+    {!Metrics.merge}). *)

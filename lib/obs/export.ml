@@ -1,0 +1,28 @@
+type format = Chrome | Jsonl
+
+let format_of_path path =
+  if Filename.check_suffix path ".json" then Chrome else Jsonl
+
+let filter_of_spec = function
+  | None -> None
+  | Some spec -> (
+      match String.split_on_char ',' spec |> List.filter (fun s -> s <> "") with
+      | [] -> None
+      | cats -> Some (fun cat -> List.mem cat cats))
+
+let trace_to_string ?filter ~format trace =
+  match format with
+  | Chrome -> Trace.chrome ?filter trace
+  | Jsonl -> Trace.jsonl ?filter trace
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_trace ~path ?filter trace =
+  write_file ~path (trace_to_string ?filter ~format:(format_of_path path) trace)
+
+let write_metrics ~path ?time metrics =
+  write_file ~path (Metrics.snapshot_json ?time metrics ^ "\n")

@@ -1,0 +1,45 @@
+(** Deterministic metrics registry: named counters, gauges and log-bucketed
+    histograms, snapshotable to JSON at any simulated time.
+
+    Like {!Trace}, a registry is either recording or the shared {!noop}
+    whose operations cost one branch. Names are flat strings; a name is
+    bound to one kind on first use and misuse raises [Invalid_argument].
+
+    Histograms are log2-bucketed (bucket i counts observations in
+    [2^i, 2^(i+1)), values below 1 clamp into bucket 0) and reuse
+    {!Concilium_stats.Histogram} over log space, so bucket counts merge
+    exactly. Snapshots list every section sorted by name — the output never
+    depends on hash-table iteration order or insertion order. *)
+
+type t
+
+val create : unit -> t
+val noop : t
+val enabled : t -> bool
+
+val incr : t -> ?by:int -> string -> unit
+(** Add to a counter (default 1), creating it at zero on first use. *)
+
+val set : t -> string -> float -> unit
+(** Set a gauge to the given value. *)
+
+val observe : t -> string -> float -> unit
+(** Record an observation into a log-bucketed histogram. *)
+
+val counter : t -> string -> int
+(** Current counter value; 0 when the name is unbound. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val merge : t array -> t
+(** Fold per-shard registries in index order: counters and histogram
+    buckets sum (order-independent), a gauge takes the value of the last
+    shard that set it. Merging shards in shard order equals recording the
+    same operations into a single registry in shard-concatenation order. *)
+
+val snapshot_json : ?time:float -> t -> string
+(** JSON snapshot: optional ["time"], then ["counters"], ["gauges"] and
+    ["histograms"] objects with names sorted; histogram buckets are labelled
+    by their lower bound ("2^i"). Byte-identical across runs for identical
+    metric contents. *)

@@ -1,0 +1,80 @@
+(** Deterministic trace sink: typed instants and nested spans keyed to the
+    simulated clock.
+
+    A sink is either recording or the shared {!noop}; every operation on the
+    noop sink costs one branch, so instrumented hot paths stay cheap when
+    tracing is off. Records are appended in emission order (which for engine-
+    driven instrumentation coincides with virtual-time order); the exporters
+    carry the timestamp, so viewers that sort by time render compiled-ahead
+    records (e.g. chaos fault plans) correctly.
+
+    Instrumentation must never perturb the run it observes: recording draws
+    no randomness and schedules no engine events, so a simulation produces
+    identical results with tracing on or off, and per-shard sinks merged in
+    shard order ({!merge}) produce byte-identical exports for any domain
+    count. *)
+
+type value = Int of int | Float of float | Bool of bool | String of string
+
+type args = (string * value) list
+
+type span
+(** Handle to an open span. The noop sink hands out {!none}. *)
+
+val none : span
+(** The null span: valid as a parent ("no parent") and ignored by
+    {!span_close}. *)
+
+type t
+
+val create : unit -> t
+(** A fresh recording sink. *)
+
+val noop : t
+(** The shared no-op sink: all operations return immediately. *)
+
+val enabled : t -> bool
+
+val instant : t -> time:float -> ?cat:string -> ?span:span -> ?args:args -> string -> unit
+(** Record a point event. [span] attaches it to an open span (stage markers
+    inside a diagnosis episode); default unattached. [cat] defaults to
+    ["event"]. *)
+
+val span_open : t -> time:float -> ?cat:string -> ?parent:span -> ?args:args -> string -> span
+(** Open a span. [parent] nests it under an open span. [cat] defaults to
+    ["span"]. *)
+
+val span_close : t -> time:float -> ?args:args -> span -> unit
+(** Close an open span, optionally attaching result arguments. Closing
+    {!none} is a no-op. *)
+
+val length : t -> int
+(** Records emitted so far. *)
+
+val merge : t array -> t
+(** Concatenate per-shard sinks in index order, rebasing span identifiers so
+    they stay unique. Merging the same shards in the same order always
+    yields the same record sequence — the deterministic-aggregation
+    contract. *)
+
+val validate : t -> (unit, string) result
+(** Well-formedness: every close names a span that is open (no orphan or
+    double closes), spans close no earlier than they open, no span closes
+    while a child is still open, parents are open at child-open time, and
+    nothing is left open at the end. *)
+
+val instants : t -> name:string -> (float * args) list
+(** All instants with this name, in emission order. *)
+
+val completed_spans : t -> (string * float * float) list
+(** [(name, open_time, duration)] of every matched open/close pair, in close
+    order. *)
+
+val jsonl : ?filter:(string -> bool) -> t -> string
+(** One JSON object per line, in emission order. [filter] keeps only records
+    whose category satisfies it (closes follow their open's category). *)
+
+val chrome : ?filter:(string -> bool) -> t -> string
+(** Chrome [trace_event] JSON ({["traceEvents"]} array): spans as async
+    begin/end pairs, instants as instant events, timestamps in microseconds
+    of virtual time. Load in chrome://tracing or ui.perfetto.dev. *)

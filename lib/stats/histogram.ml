@@ -17,6 +17,14 @@ let add t x =
 let total t = t.total
 let counts t = Array.copy t.counts
 
+let merge_into ~into src =
+  if
+    into.lo <> src.lo || into.hi <> src.hi
+    || Array.length into.counts <> Array.length src.counts
+  then invalid_arg "Histogram.merge_into: mismatched bounds or bin count";
+  Array.iteri (fun i count -> into.counts.(i) <- into.counts.(i) + count) src.counts;
+  into.total <- into.total + src.total
+
 let bin_centers t =
   let w = bin_width t in
   Array.init (Array.length t.counts) (fun i -> t.lo +. (w *. (float_of_int i +. 0.5)))

@@ -10,6 +10,12 @@ val add : t -> float -> unit
 val total : t -> int
 val counts : t -> int array
 
+val merge_into : into:t -> t -> unit
+(** Add [src]'s bin counts into [into]. Counts are integers, so merging
+    per-shard histograms in any grouping gives exactly the counts a single
+    histogram would have accumulated. Raises [Invalid_argument] when the
+    bounds or bin counts differ. *)
+
 val bin_centers : t -> float array
 
 val pdf : t -> float array

@@ -128,4 +128,19 @@ let suspect_physical_links estimate ~loss_threshold =
   done;
   List.sort_uniq Int.compare !out
 
-let infer_from_rounds logical rounds = infer logical ~acked:(Probing.acked_matrix rounds)
+let infer_from_rounds ?(trace = Concilium_obs.Trace.noop) ?parent ?(time = 0.) logical rounds =
+  let module Trace = Concilium_obs.Trace in
+  let span =
+    Trace.span_open trace ~time ~cat:"tomography" ?parent
+      ~args:
+        [
+          ("rounds", Trace.Int (Array.length rounds));
+          ("nodes", Trace.Int (Logical_tree.node_count logical));
+        ]
+      "minc.solve"
+  in
+  let estimate = infer logical ~acked:(Probing.acked_matrix rounds) in
+  Trace.span_close trace ~time
+    ~args:[ ("root_gamma", Trace.Float estimate.gamma.(0)) ]
+    span;
+  estimate

@@ -42,5 +42,15 @@ val suspect_physical_links : estimate -> loss_threshold:float -> int list
     threshold — the links Concilium treats as "probed down". Sorted,
     deduplicated. *)
 
-val infer_from_rounds : Logical_tree.t -> Probing.round array -> estimate
-(** Convenience: {!infer} over {!Probing.acked_matrix}. *)
+val infer_from_rounds :
+  ?trace:Concilium_obs.Trace.t ->
+  ?parent:Concilium_obs.Trace.span ->
+  ?time:float ->
+  Logical_tree.t ->
+  Probing.round array ->
+  estimate
+(** Convenience: {!infer} over {!Probing.acked_matrix}. When [trace] is a
+    recording sink the inference is wrapped in a ["minc.solve"] span
+    (category ["tomography"]) stamped at [time] (default 0), nested under
+    [parent] if given; with the default noop sink the wrapper costs one
+    branch. *)

@@ -352,16 +352,19 @@ let test_dht_put_get () =
   in
   let accused_key = Pki.public_key_of_string "bobs-public-key" in
   let hops = ref 0 in
-  Dht.put dht ~from:0 ~accused_key accusation ~hops;
+  let put_report = Dht.put dht ~from:0 ~accused_key accusation ~hops in
   check Alcotest.int "replicated" 3 (Dht.total_records dht);
+  check Alcotest.int "report counts replicas" 3 put_report.Dht.replicas_written;
+  check Alcotest.bool "no failover with everyone alive" false put_report.Dht.put_failed_over;
   (* Idempotent: same record again. *)
-  Dht.put dht ~from:5 ~accused_key accusation ~hops;
+  let (_ : Dht.put_report) = Dht.put dht ~from:5 ~accused_key accusation ~hops in
   check Alcotest.int "idempotent" 3 (Dht.total_records dht);
   let fetched = Dht.get dht ~from:9 ~accused_key ~hops () in
-  check Alcotest.int "fetched" 1 (List.length fetched);
+  check Alcotest.int "fetched" 1 (List.length fetched.Dht.accusations);
+  check Alcotest.bool "read saw no failover" false fetched.Dht.get_failed_over;
   check Alcotest.bool "hops consumed" true (!hops >= 0);
   let other = Dht.get dht ~from:9 ~accused_key:(Pki.public_key_of_string "nobody") ~hops () in
-  check Alcotest.int "other key empty" 0 (List.length other)
+  check Alcotest.int "other key empty" 0 (List.length other.Dht.accusations)
 
 let test_dht_replicas_distinct () =
   let dht = dht_fixture () in

@@ -157,6 +157,22 @@ let test_raw_parallelism_rule () =
   check_clean "raw-parallelism" "let n = Domain.recommended_domain_count ()\n";
   check_clean "raw-parallelism" "let r = Pool.parallel_map ~pool xs ~f\n"
 
+let test_stdout_printf_rule () =
+  let printf_line = "let () = Printf." ^ "printf \"hi %d\" 3\n" in
+  let endline_line = "let () = print_" ^ "endline \"hi\"\n" in
+  let format_line = "let () = Format." ^ "printf \"hi\"\n" in
+  check_fires "stdout-printf" printf_line;
+  check_fires "stdout-printf" endline_line;
+  check_fires "stdout-printf" format_line;
+  (* Rendering to a string and deferring the write is the sanctioned shape. *)
+  check_clean "stdout-printf" "let s = Printf.sprintf \"hi %d\" 3\n";
+  check_clean "stdout-printf" "let () = Format.fprintf fmt \"hi\"\n";
+  (* The lint driver and the observability exporters own their stdout. *)
+  check_clean ~path:"lib/lint/report.ml" "stdout-printf" printf_line;
+  check_clean ~path:"lib/obs/export.ml" "stdout-printf" printf_line;
+  (* Binaries are the edge where printing belongs. *)
+  check_clean ~path:"bin/experiments.ml" "stdout-printf" printf_line
+
 let test_formatting_rules () =
   check_fires "trailing-whitespace" ("let x = 1" ^ "  " ^ "\nlet y = 2\n");
   check_fires "tab-indent" ("let x =\n" ^ "\t1\n");
@@ -261,6 +277,7 @@ let suites =
     ( "lint.hygiene",
       [
         test_case "raw parallelism fenced into the pool" `Quick test_raw_parallelism_rule;
+        test_case "stdout printing fenced out of lib" `Quick test_stdout_printf_rule;
         test_case "formatting rules" `Quick test_formatting_rules;
         test_case "dune hardened flags" `Quick test_dune_flags_rule;
         test_case "mli coverage" `Quick test_missing_mli_detection;
