@@ -1,0 +1,368 @@
+module Id = Concilium_overlay.Id
+module Pastry = Concilium_overlay.Pastry
+module Pki = Concilium_crypto.Pki
+module Accusation = Concilium_core.Accusation
+module Commitment = Concilium_core.Commitment
+module Blame = Concilium_core.Blame
+module Verdict_window = Concilium_core.Verdict_window
+module Dht = Concilium_core.Dht
+module Rebuttal = Concilium_core.Rebuttal
+module Prng = Concilium_util.Prng
+
+type mutation =
+  | Window_expire_exclusive
+  | Window_accuse_strict
+  | Dht_ignore_crashes
+  | Archive_widen_window
+
+let mutation_name = function
+  | Window_expire_exclusive -> "window-expire-exclusive"
+  | Window_accuse_strict -> "window-accuse-strict"
+  | Dht_ignore_crashes -> "dht-ignore-crashes"
+  | Archive_widen_window -> "archive-widen-window"
+
+let all_mutations =
+  [ Window_expire_exclusive; Window_accuse_strict; Dht_ignore_crashes; Archive_widen_window ]
+
+let mutation_of_name name =
+  List.find_opt (fun m -> String.equal (mutation_name m) name) all_mutations
+
+type divergence = { op_index : int; component : string; detail : string }
+
+let pp_divergence fmt d =
+  Format.fprintf fmt "op %d, %s: %s" d.op_index d.component d.detail
+
+(* ---------- World ---------- *)
+
+type principal = { id : Id.t; key : Pki.public_key; secret : Pki.secret_key }
+
+type world = {
+  nodes : int;
+  m : int;
+  principals : principal array;
+  impl_windows : unit Verdict_window.t array;
+  model_windows : Model.Window.t array;
+  impl_dht : Dht.t;
+  model_store : Model.Store.t;
+  impl_archives : Rebuttal.archive array;
+  model_archives : Model.Archive.t array;
+  dead : bool array;
+  accusations : (string, Accusation.t) Hashtbl.t;
+}
+
+let build_world (schedule : Schedule.t) =
+  let nodes = schedule.Schedule.nodes in
+  let rng = Prng.of_seed (Int64.of_int (0x5eed + schedule.Schedule.seed)) in
+  let ids = Array.init nodes (fun _ -> Id.random rng) in
+  let pki = Pki.create ~seed:(Int64.of_int (0xca + schedule.Schedule.seed)) in
+  let principals =
+    Array.init nodes (fun i ->
+        let cert, secret =
+          Pki.issue pki ~address:(Printf.sprintf "node-%d" i) ~node_id:(Id.to_hex ids.(i))
+        in
+        { id = ids.(i); key = cert.Pki.subject_key; secret })
+  in
+  let pastry = Pastry.build ~leaf_half_size:4 ids in
+  {
+    nodes;
+    m = schedule.Schedule.m;
+    principals;
+    impl_windows =
+      Array.init nodes (fun _ ->
+          Verdict_window.create ~window_size:schedule.Schedule.window_size);
+    model_windows =
+      Array.init nodes (fun _ ->
+          Model.Window.create ~window_size:schedule.Schedule.window_size);
+    impl_dht = Dht.create ~pastry ~replication:schedule.Schedule.replication;
+    model_store = Model.Store.create ~pastry ~replication:schedule.Schedule.replication;
+    impl_archives = Array.init nodes (fun _ -> Rebuttal.create_archive ());
+    model_archives = Array.init nodes (fun _ -> Model.Archive.create ());
+    dead = Array.make nodes false;
+    accusations = Hashtbl.create 64;
+  }
+
+(* Accusations are the data flowing through both sides: built once per
+   (accuser, accused, drop time) triple and shared, so the comparison
+   exercises the state machinery, not signature plumbing. Two probers
+   vouch "up" for every path link, putting the blame (0.9, Equation 2)
+   above the paper threshold. *)
+let accusation_for world ~accuser ~accused ~drop_time =
+  let cache_key = Printf.sprintf "%d|%d|%.17g" accuser accused drop_time in
+  match Hashtbl.find_opt world.accusations cache_key with
+  | Some accusation -> accusation
+  | None ->
+      let a = world.principals.(accuser) in
+      let b = world.principals.(accused) in
+      let destination = world.principals.((accused + 1) mod world.nodes) in
+      let probers =
+        List.filteri (fun i _ -> i <> accuser && i <> accused)
+          (Array.to_list (Array.mapi (fun i p -> (i, p)) world.principals))
+      in
+      let p1, p2 =
+        match probers with
+        | (_, p1) :: (_, p2) :: _ -> (p1, p2)
+        | _ -> invalid_arg "Lockstep.accusation_for: need at least four nodes"
+      in
+      let vote link (p : principal) =
+        Accusation.make_vote ~prober:p.id ~secret:p.secret ~public:p.key ~link ~time:drop_time
+          ~up:true
+      in
+      let commitment =
+        Commitment.issue ~forwarder:b.id ~secret:b.secret ~public:b.key ~sender:a.id
+          ~destination:destination.id ~message_id:cache_key ~now:(drop_time -. 1.)
+      in
+      let evidence =
+        {
+          Accusation.path_links = [| 4; 9 |];
+          link_votes =
+            [
+              { Accusation.link = 4; votes = [ vote 4 p1; vote 4 p2 ] };
+              { Accusation.link = 9; votes = [ vote 9 p1 ] };
+            ];
+          drop_time;
+          commitment;
+        }
+      in
+      let accusation =
+        Accusation.make ~accuser:a.id ~secret:a.secret ~public:a.key ~accused:b.id
+          ~config:Blame.paper_config ~evidence ~supporting:[] ~now:(drop_time +. 1.)
+      in
+      Hashtbl.add world.accusations cache_key accusation;
+      accusation
+
+(* ---------- Comparisons ---------- *)
+
+let float_list_to_string times =
+  String.concat "," (List.map (fun t -> Printf.sprintf "%.17g" t) times)
+
+(* [impl_m] lets the accuse-strict mutation perturb the implementation
+   side's escalation threshold while the model keeps the real [m]. *)
+let check_window world ~impl_m ~win =
+  let impl = world.impl_windows.(win) in
+  let model = world.model_windows.(win) in
+  let impl_times =
+    List.map (fun e -> e.Verdict_window.drop_time) (Verdict_window.entries impl)
+  in
+  let model_times = Model.Window.drop_times model in
+  if Verdict_window.length impl <> Model.Window.length model then
+    Some
+      (Printf.sprintf "window %d length: impl=%d model=%d" win (Verdict_window.length impl)
+         (Model.Window.length model))
+  else if Verdict_window.guilty_count impl <> Model.Window.guilty_count model then
+    Some
+      (Printf.sprintf "window %d guilty_count: impl=%d model=%d" win
+         (Verdict_window.guilty_count impl)
+         (Model.Window.guilty_count model))
+  else if
+    Verdict_window.should_accuse impl ~m:impl_m
+    <> Model.Window.should_accuse model ~m:world.m
+  then
+    Some
+      (Printf.sprintf "window %d should_accuse(m=%d): impl=%b model=%b" win world.m
+         (Verdict_window.should_accuse impl ~m:impl_m)
+         (Model.Window.should_accuse model ~m:world.m))
+  else if not (List.equal Float.equal impl_times model_times) then
+    Some
+      (Printf.sprintf "window %d drop_times: impl=[%s] model=[%s]" win
+         (float_list_to_string impl_times)
+         (float_list_to_string model_times))
+  else None
+
+let check_stores world =
+  let mismatch = ref None in
+  for node = world.nodes - 1 downto 0 do
+    let impl = Dht.stored_count world.impl_dht ~node in
+    let model = Model.Store.stored_count world.model_store ~node in
+    if impl <> model then
+      mismatch :=
+        Some (Printf.sprintf "stored_count node %d: impl=%d model=%d" node impl model)
+  done;
+  match !mismatch with
+  | Some _ as d -> d
+  | None ->
+      let impl = Dht.total_records world.impl_dht in
+      let model = Model.Store.total_records world.model_store in
+      if impl <> model then
+        Some (Printf.sprintf "total_records: impl=%d model=%d" impl model)
+      else None
+
+let check_archive world ~owner =
+  let impl = Rebuttal.archive_size world.impl_archives.(owner) in
+  let model = Model.Archive.size world.model_archives.(owner) in
+  if impl <> model then
+    Some (Printf.sprintf "archive %d size: impl=%d model=%d" owner impl model)
+  else None
+
+(* ---------- Execution ---------- *)
+
+let apply_op world ~mutation op =
+  let model_alive node = not world.dead.(node) in
+  let impl_alive =
+    match mutation with
+    | Some Dht_ignore_crashes -> fun (_ : int) -> true
+    | _ -> model_alive
+  in
+  let impl_m = match mutation with Some Window_accuse_strict -> world.m + 1 | _ -> world.m in
+  match op with
+  | Schedule.Win_record { win; guilty; blame; drop_time } ->
+      let verdict = if guilty then Blame.Guilty else Blame.Innocent in
+      Verdict_window.record world.impl_windows.(win)
+        { Verdict_window.verdict; blame; drop_time; evidence = () };
+      Model.Window.record world.model_windows.(win)
+        { Model.Window.guilty; blame; drop_time };
+      (match check_window world ~impl_m ~win with
+      | Some detail -> Some ("window", detail)
+      | None -> None)
+  | Schedule.Win_expire { win; before } ->
+      let impl_before =
+        match mutation with Some Window_expire_exclusive -> Float.succ before | _ -> before
+      in
+      Verdict_window.expire world.impl_windows.(win) ~before:impl_before;
+      Model.Window.expire world.model_windows.(win) ~before;
+      (match check_window world ~impl_m ~win with
+      | Some detail -> Some ("window", detail)
+      | None -> None)
+  | Schedule.Dht_put { from_node; accuser; accused; drop_time; copies } ->
+      let accusation = accusation_for world ~accuser ~accused ~drop_time in
+      let accused_key = world.principals.(accused).key in
+      let hops = ref 0 in
+      let impl_report =
+        Dht.put world.impl_dht ~from:from_node ~alive:impl_alive ~copies ~accused_key
+          accusation ~hops
+      in
+      let model_report =
+        Model.Store.put world.model_store ~from:from_node ~alive:model_alive ~copies
+          ~accused_key accusation
+      in
+      if impl_report.Dht.replicas_written <> model_report.Model.Store.replicas_written then
+        Some
+          ( "dht",
+            Printf.sprintf "put replicas_written: impl=%d model=%d"
+              impl_report.Dht.replicas_written model_report.Model.Store.replicas_written )
+      else if impl_report.Dht.put_failed_over <> model_report.Model.Store.put_failed_over
+      then
+        Some
+          ( "dht",
+            Printf.sprintf "put failed_over: impl=%b model=%b"
+              impl_report.Dht.put_failed_over model_report.Model.Store.put_failed_over )
+      else if !hops <> model_report.Model.Store.hops then
+        Some
+          ( "dht",
+            Printf.sprintf "put hops: impl=%d model=%d" !hops model_report.Model.Store.hops
+          )
+      else (
+        match check_stores world with
+        | Some detail -> Some ("dht", detail)
+        | None -> None)
+  | Schedule.Dht_get { from_node; accused } ->
+      let accused_key = world.principals.(accused).key in
+      let hops = ref 0 in
+      let impl_report =
+        Dht.get world.impl_dht ~from:from_node ~alive:impl_alive ~accused_key ~hops ()
+      in
+      let model_report =
+        Model.Store.get world.model_store ~from:from_node ~alive:model_alive ~accused_key
+      in
+      let impl_keys =
+        List.map Model.Store.record_key impl_report.Dht.accusations
+      in
+      if not (List.equal String.equal impl_keys model_report.Model.Store.record_keys) then
+        Some
+          ( "dht",
+            Printf.sprintf "get records: impl=[%s] model=[%s]"
+              (String.concat ";" impl_keys)
+              (String.concat ";" model_report.Model.Store.record_keys) )
+      else if impl_report.Dht.replicas_read <> model_report.Model.Store.replicas_read then
+        Some
+          ( "dht",
+            Printf.sprintf "get replicas_read: impl=%d model=%d"
+              impl_report.Dht.replicas_read model_report.Model.Store.replicas_read )
+      else if impl_report.Dht.get_failed_over <> model_report.Model.Store.get_failed_over
+      then
+        Some
+          ( "dht",
+            Printf.sprintf "get failed_over: impl=%b model=%b"
+              impl_report.Dht.get_failed_over model_report.Model.Store.get_failed_over )
+      else if !hops <> model_report.Model.Store.hops then
+        Some
+          ( "dht",
+            Printf.sprintf "get hops: impl=%d model=%d" !hops model_report.Model.Store.hops
+          )
+      else None
+  | Schedule.Dht_crash { node } ->
+      world.dead.(node) <- true;
+      None
+  | Schedule.Dht_revive { node } ->
+      world.dead.(node) <- false;
+      None
+  | Schedule.Dht_drop_replica { node } ->
+      Dht.drop_replica world.impl_dht ~node;
+      Model.Store.drop_replica world.model_store ~node;
+      (match check_stores world with
+      | Some detail -> Some ("dht", detail)
+      | None -> None)
+  | Schedule.Arch_record { owner; accused; drop_time } ->
+      let accusation = accusation_for world ~accuser:owner ~accused ~drop_time in
+      Rebuttal.record world.impl_archives.(owner) accusation;
+      Model.Archive.record world.model_archives.(owner) accusation;
+      (match check_archive world ~owner with
+      | Some detail -> Some ("archive", detail)
+      | None -> None)
+  | Schedule.Arch_defend { owner; accuser; drop_time } ->
+      let against = accusation_for world ~accuser ~accused:owner ~drop_time in
+      let impl_against =
+        match mutation with
+        | Some Archive_widen_window ->
+            accusation_for world ~accuser ~accused:owner ~drop_time:(drop_time +. 1.5)
+        | _ -> against
+      in
+      let impl = Rebuttal.defend world.impl_archives.(owner) ~against:impl_against in
+      let model = Model.Archive.defend world.model_archives.(owner) ~against in
+      let key = Option.map Model.Store.record_key in
+      if not (Option.equal String.equal (key impl) (key model)) then
+        Some
+          ( "archive",
+            Printf.sprintf "defend(owner=%d): impl=%s model=%s" owner
+              (Option.value ~default:"none" (key impl))
+              (Option.value ~default:"none" (key model)) )
+      else None
+
+let final_sweep world ~impl_m =
+  let rec first_window win =
+    if win >= world.nodes then None
+    else
+      match check_window world ~impl_m ~win with
+      | Some detail -> Some detail
+      | None -> first_window (win + 1)
+  in
+  let rec first_archive owner =
+    if owner >= world.nodes then None
+    else
+      match check_archive world ~owner with
+      | Some detail -> Some detail
+      | None -> first_archive (owner + 1)
+  in
+  match first_window 0 with
+  | Some detail -> Some detail
+  | None -> (
+      match check_stores world with
+      | Some detail -> Some detail
+      | None -> first_archive 0)
+
+let run ?mutation (schedule : Schedule.t) =
+  let world = build_world schedule in
+  let impl_m =
+    match mutation with Some Window_accuse_strict -> world.m + 1 | _ -> world.m
+  in
+  let rec step index ops =
+    match ops with
+    | [] -> (
+        match final_sweep world ~impl_m with
+        | Some detail -> Some { op_index = index; component = "final"; detail }
+        | None -> None)
+    | op :: rest -> (
+        match apply_op world ~mutation op with
+        | Some (component, detail) -> Some { op_index = index; component; detail }
+        | None -> step (index + 1) rest)
+  in
+  step 0 schedule.Schedule.ops

@@ -1,0 +1,183 @@
+module Id = Concilium_overlay.Id
+module Leaf_set = Concilium_overlay.Leaf_set
+module Pastry = Concilium_overlay.Pastry
+module Pki = Concilium_crypto.Pki
+module Signed = Concilium_crypto.Signed
+module Accusation = Concilium_core.Accusation
+module Blame = Concilium_core.Blame
+
+module Window = struct
+  type entry = { guilty : bool; blame : float; drop_time : float }
+
+  type t = { window_size : int; mutable entries : entry list (* oldest first *) }
+
+  let create ~window_size =
+    if window_size <= 0 then invalid_arg "Model.Window.create: window_size must be positive";
+    { window_size; entries = [] }
+
+  let record t entry =
+    let appended = t.entries @ [ entry ] in
+    let overflow = List.length appended - t.window_size in
+    (* Drop the oldest verdicts one by one until the window fits: the slow,
+       obvious statement of "keep the newest [window_size]". *)
+    let rec drop n entries =
+      match entries with _ :: rest when n > 0 -> drop (n - 1) rest | _ -> entries
+    in
+    t.entries <- drop overflow appended
+
+  let length t = List.length t.entries
+
+  let guilty_count t = List.length (List.filter (fun e -> e.guilty) t.entries)
+
+  let should_accuse t ~m = guilty_count t >= m
+
+  let expire t ~before =
+    t.entries <- List.filter (fun e -> e.drop_time >= before) t.entries
+
+  let drop_times t = List.map (fun e -> e.drop_time) t.entries
+end
+
+module Store = struct
+  type stored = { node : int; record : string; dht_key : Id.t }
+
+  type t = {
+    pastry : Pastry.t;
+    replication : int;
+    mutable contents : stored list;
+  }
+
+  let create ~pastry ~replication =
+    if replication < 1 then invalid_arg "Model.Store.create: replication must be >= 1";
+    { pastry; replication; contents = [] }
+
+  (* Re-derive the accused-key hash and the idempotence key from their
+     documented contracts rather than calling into [Dht], so a drift in
+     either derivation shows up as a divergence. *)
+  let key_of_public_key public_key =
+    Id.of_name ("accusation-key|" ^ Pki.public_key_to_string public_key)
+
+  let record_key accusation =
+    let body = Signed.payload accusation in
+    Printf.sprintf "%s|%s|%.6f" (Id.to_hex body.Accusation.accuser)
+      (Id.to_hex body.Accusation.accused)
+      body.Accusation.evidence.Accusation.drop_time
+
+  let distance_to t ~key index = Id.ring_distance (Pastry.node t.pastry index).Pastry.id key
+
+  (* Root by exhaustive scan over every node — no reliance on the overlay's
+     own [numerically_closest]. *)
+  let root_of t ~key =
+    let best = ref 0 in
+    for index = 1 to Pastry.node_count t.pastry - 1 do
+      if Id.compare (distance_to t ~key index) (distance_to t ~key !best) < 0 then best := index
+    done;
+    !best
+
+  let replica_candidates t ~key =
+    let root = root_of t ~key in
+    let neighbors =
+      List.filter_map
+        (fun id -> Pastry.index_of_id t.pastry id)
+        (Leaf_set.members (Pastry.node t.pastry root).Pastry.leaf_set)
+    in
+    let by_distance =
+      List.stable_sort
+        (fun a b -> Id.compare (distance_to t ~key a) (distance_to t ~key b))
+        (List.filter (fun n -> n <> root) neighbors)
+    in
+    root :: by_distance
+
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+  let live_replicas t ~key ~alive = take t.replication (List.filter alive (replica_candidates t ~key))
+
+  let root_dead t ~key ~alive = not (alive (root_of t ~key))
+
+  let route_hops t ~from ~target =
+    let dest = (Pastry.node t.pastry target).Pastry.id in
+    max 0 (List.length (Pastry.route t.pastry ~from ~dest) - 1)
+
+  type put_report = { replicas_written : int; put_failed_over : bool; hops : int }
+
+  let holds t ~node ~record =
+    List.exists (fun s -> s.node = node && String.equal s.record record) t.contents
+
+  let put t ~from ~alive ~copies ~accused_key accusation =
+    let key = key_of_public_key accused_key in
+    let record = record_key accusation in
+    let replicas = live_replicas t ~key ~alive in
+    let hops = ref 0 in
+    for _ = 1 to max 1 copies do
+      List.iter
+        (fun replica ->
+          hops := !hops + route_hops t ~from ~target:replica;
+          if not (holds t ~node:replica ~record) then
+            t.contents <- { node = replica; record; dht_key = key } :: t.contents)
+        replicas
+    done;
+    {
+      replicas_written = List.length replicas;
+      put_failed_over = replicas <> [] && root_dead t ~key ~alive;
+      hops = !hops;
+    }
+
+  type get_report = {
+    record_keys : string list;
+    replicas_read : int;
+    get_failed_over : bool;
+    hops : int;
+  }
+
+  let get t ~from ~alive ~accused_key =
+    let key = key_of_public_key accused_key in
+    match live_replicas t ~key ~alive with
+    | [] -> { record_keys = []; replicas_read = 0; get_failed_over = false; hops = 0 }
+    | (first :: _) as replicas ->
+        let hops = route_hops t ~from ~target:first in
+        let merged =
+          List.filter
+            (fun s -> List.mem s.node replicas && Id.equal s.dht_key key)
+            t.contents
+        in
+        let record_keys =
+          List.sort_uniq String.compare (List.map (fun s -> s.record) merged)
+        in
+        {
+          record_keys;
+          replicas_read = List.length replicas;
+          get_failed_over = root_dead t ~key ~alive;
+          hops;
+        }
+
+  let drop_replica t ~node = t.contents <- List.filter (fun s -> s.node <> node) t.contents
+
+  let stored_count t ~node =
+    List.length (List.filter (fun s -> s.node = node) t.contents)
+
+  let total_records t = List.length t.contents
+end
+
+module Archive = struct
+  type t = { mutable verdicts : Accusation.t list (* newest first *) }
+
+  let create () = { verdicts = [] }
+
+  let record t accusation = t.verdicts <- accusation :: t.verdicts
+
+  let size t = List.length t.verdicts
+
+  let drop_time accusation =
+    (Signed.payload accusation).Accusation.evidence.Accusation.drop_time
+
+  let defend t ~against =
+    let against_body = Signed.payload against in
+    List.find_opt
+      (fun candidate ->
+        let candidate_body = Signed.payload candidate in
+        Id.equal candidate_body.Accusation.accuser against_body.Accusation.accused
+        && abs_float (drop_time candidate -. drop_time against)
+           <= against_body.Accusation.config.Blame.delta)
+      t.verdicts
+end

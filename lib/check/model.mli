@@ -1,0 +1,100 @@
+(** Small, obviously-correct reference models of the protocol's stateful
+    pieces, in the style of [Minc.infer_reference]: each module restates a
+    paper-level contract with naive lists and linear scans, and the lockstep
+    driver ({!Lockstep}) executes it in step with the optimized
+    implementation, comparing state at every quiescence point.
+
+    The models deliberately share only {e inputs} with the implementations
+    (the overlay under test, accusation values, key derivation — data, not
+    state machinery): replication walks, window arithmetic, expiry
+    boundaries and store bookkeeping are all re-derived from scratch here,
+    so an off-by-one in the optimized ring-buffer or failover path cannot
+    cancel out. *)
+
+module Id = Concilium_overlay.Id
+module Pastry = Concilium_overlay.Pastry
+module Pki = Concilium_crypto.Pki
+module Accusation = Concilium_core.Accusation
+
+(** Reference sliding verdict window: a plain list, oldest first, truncated
+    to the newest [window_size] on record and filtered on expire
+    (inclusive-keep at the horizon, matching
+    {!Concilium_core.Verdict_window.expire}). *)
+module Window : sig
+  type entry = { guilty : bool; blame : float; drop_time : float }
+
+  type t
+
+  val create : window_size:int -> t
+  (** @raise Invalid_argument when [window_size <= 0]. *)
+
+  val record : t -> entry -> unit
+  val length : t -> int
+  val guilty_count : t -> int
+  val should_accuse : t -> m:int -> bool
+
+  val expire : t -> before:float -> unit
+  (** Keep entries with [drop_time >= before]. *)
+
+  val drop_times : t -> float list
+  (** Oldest first. *)
+end
+
+(** Reference accusation repository: replica placement re-derived by linear
+    scan (root = node minimising ring distance to the key, then the root's
+    leaf-set members by distance), contents held as one flat association
+    list. Mirrors the {!Concilium_core.Dht} contract including failover
+    past dead candidates, idempotent duplicate deliveries and replica
+    loss. *)
+module Store : sig
+  type t
+
+  val create : pastry:Pastry.t -> replication:int -> t
+
+  val replica_candidates : t -> key:Id.t -> int list
+  (** Full failover ordering: root first, then the root's leaf-set members
+      by ring proximity to the key. *)
+
+  type put_report = { replicas_written : int; put_failed_over : bool; hops : int }
+
+  val put :
+    t ->
+    from:int ->
+    alive:(int -> bool) ->
+    copies:int ->
+    accused_key:Pki.public_key ->
+    Accusation.t ->
+    put_report
+
+  type get_report = {
+    record_keys : string list;  (** idempotence keys of the merged result, sorted *)
+    replicas_read : int;
+    get_failed_over : bool;
+    hops : int;
+  }
+
+  val get : t -> from:int -> alive:(int -> bool) -> accused_key:Pki.public_key -> get_report
+
+  val drop_replica : t -> node:int -> unit
+  val stored_count : t -> node:int -> int
+  val total_records : t -> int
+
+  val record_key : Accusation.t -> string
+  (** The (accuser, accused, drop time) idempotence key, re-derived from the
+      documented contract. *)
+end
+
+(** Reference rebuttal archive: a list of issued onward verdicts, newest
+    first; [defend] scans for the first candidate whose accuser is the
+    accusation's accused with a drop time within the accusation's blame
+    window (boundary inclusive), the
+    {!Concilium_core.Rebuttal} contract. *)
+module Archive : sig
+  type t
+
+  val create : unit -> t
+  val record : t -> Accusation.t -> unit
+  val size : t -> int
+
+  val defend : t -> against:Accusation.t -> Accusation.t option
+end

@@ -1,0 +1,65 @@
+let split_chunks items ~chunks =
+  let len = List.length items in
+  let base = len / chunks and extra = len mod chunks in
+  (* First [extra] chunks get one more element, consuming the list exactly. *)
+  let rec build index remaining =
+    if index >= chunks then []
+    else
+      let size = base + if index < extra then 1 else 0 in
+      let rec split n acc rest =
+        if n = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tail -> split (n - 1) (x :: acc) tail
+      in
+      let chunk, rest = split size [] remaining in
+      chunk :: build (index + 1) rest
+  in
+  build 0 items
+
+let rec without_chunk chunks index =
+  match chunks with
+  | [] -> []
+  | chunk :: rest ->
+      if index = 0 then List.concat rest else chunk @ without_chunk rest (index - 1)
+
+let ddmin ~reproduces items =
+  if not (reproduces items) then items
+  else begin
+    let rec minimize items ~chunks =
+      let len = List.length items in
+      if len <= 1 then items
+      else begin
+        let chunks = min chunks len in
+        let pieces = split_chunks items ~chunks in
+        (* Try dropping each chunk (complement testing, the ddmin core). *)
+        let rec try_drop index =
+          if index >= chunks then None
+          else
+            let candidate = without_chunk pieces index in
+            if candidate <> [] && reproduces candidate then Some candidate
+            else try_drop (index + 1)
+        in
+        match try_drop 0 with
+        | Some candidate ->
+            (* A chunk was irrelevant: restart at the same granularity on
+               the smaller list. *)
+            minimize candidate ~chunks:(max 2 (chunks - 1))
+        | None ->
+            if chunks >= len then items
+            else minimize items ~chunks:(min len (2 * chunks))
+      end
+    in
+    let coarse = minimize items ~chunks:2 in
+    (* Final one-at-a-time pass guarantees 1-minimality. *)
+    let rec sweep kept pending =
+      match pending with
+      | [] -> List.rev kept
+      | x :: rest ->
+          let candidate = List.rev_append kept rest in
+          if candidate <> [] && reproduces candidate then sweep kept rest
+          else sweep (x :: kept) rest
+    in
+    sweep [] coarse
+  end

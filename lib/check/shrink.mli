@@ -1,0 +1,15 @@
+(** Delta debugging for counterexample schedules (Zeller's ddmin).
+
+    When a lockstep run diverges, the raw schedule carries hundreds of
+    operations, almost all irrelevant. [ddmin] minimizes any list under a
+    reproduction predicate by removing chunks at progressively finer
+    granularity, finishing with an element-at-a-time pass, so the emitted
+    reproducer is 1-minimal: deleting any single remaining element makes
+    the divergence disappear. Pure and deterministic — the predicate is
+    re-evaluated on candidate sublists only, never sampled. *)
+
+val ddmin : reproduces:('a list -> bool) -> 'a list -> 'a list
+(** [ddmin ~reproduces items] assumes [reproduces items = true] and returns
+    a minimal sublist (elements in their original order) that still
+    satisfies [reproduces]. Returns [items] unchanged if the assumption
+    fails. *)

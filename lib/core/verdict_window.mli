@@ -21,9 +21,15 @@ val entries : 'evidence t -> 'evidence entry list
 (** Oldest first. *)
 
 val expire : 'evidence t -> before:float -> unit
-(** Drop every entry whose [drop_time] is strictly before the horizon,
-    preserving the order of the survivors. Verdicts backed by evidence too
-    old to re-verify must not keep counting towards an accusation. *)
+(** Drop every entry whose [drop_time] is strictly below the horizon,
+    preserving the order of the survivors. The boundary is inclusive-keep:
+    an entry with [drop_time = before] is retained — callers computing the
+    horizon as [now -. evidence_ttl] therefore keep a verdict that is
+    exactly [evidence_ttl] old, and a judge re-checking at the same instant
+    it recorded sees the verdict still counted. Verdicts backed by evidence
+    strictly older than the horizon must not keep counting towards an
+    accusation. Runs in one pass over the window; the buffer is rebuilt
+    only when at least one entry actually expires. *)
 
 val guilty_entries : 'evidence t -> 'evidence entry list
 

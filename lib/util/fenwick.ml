@@ -37,6 +37,7 @@ let total t = prefix_sum t (size t - 1)
 
 let find_by_weight t x =
   if x < 0. then invalid_arg "Fenwick.find_by_weight: negative target";
+  if size t = 0 then invalid_arg "Fenwick.find_by_weight: empty tree";
   (* Descend the implicit tree: classic O(log n) cumulative-weight search. *)
   let n = Array.length t.tree - 1 in
   let log2 =
@@ -53,5 +54,13 @@ let find_by_weight t x =
     end;
     step := !step lsr 1
   done;
-  if !pos >= size t then invalid_arg "Fenwick.find_by_weight: target exceeds total";
+  (* For x < total the descent lands on the unique index whose cumulative
+     range contains x (zero-weight subtrees are consumed greedily, so it
+     never rests on a weightless index). For x >= total — reachable when a
+     sampler's floating-point accumulation of [total t] exceeds the tree's
+     own prefix sums, or when every weight is zero — the descent walks off
+     the end; clamp to the last positive-weight index, the only index the
+     contract can still sensibly return. *)
+  if !pos >= size t then pos := size t - 1;
+  while !pos > 0 && t.weights.(!pos) = 0. do decr pos done;
   !pos

@@ -21,6 +21,15 @@ val prefix_sum : t -> int -> float
 
 val find_by_weight : t -> float -> int
 (** [find_by_weight t x] returns the smallest index [i] such that
-    [prefix_sum t i > x]. Precondition: [0 <= x < total t]. Sampling a
-    uniform [x] yields an index with probability proportional to its
-    weight. *)
+    [prefix_sum t i > x]; sampling a uniform [x] in [0, total t) yields an
+    index with probability proportional to its weight, and the returned
+    index always carries positive weight.
+
+    Boundary contract: the intended domain is [0 <= x < total t], but
+    floating-point accumulation means a sampler computing
+    [u *. total t] can legitimately produce [x = total t] (and summing
+    weights in a different order can even exceed it slightly). Rather than
+    raise on that edge, any [x >= total t] — including every query against
+    an all-zero tree, whose total is 0 — clamps to the last index with
+    positive weight (index 0 when every weight is zero). Negative [x]
+    raises [Invalid_argument], as does an empty ([size t = 0]) tree. *)

@@ -119,6 +119,35 @@ let test_verdict_window_counting () =
   check Alcotest.int "slid" 1 (Verdict_window.guilty_count w);
   check Alcotest.int "length capped" 3 (Verdict_window.length w)
 
+let test_verdict_window_expire_exact_edge () =
+  (* Off-by-one regression at the window horizon: expire's contract is
+     inclusive-keep, so an entry with drop_time exactly equal to [before]
+     must survive while anything strictly older goes. *)
+  let w = Verdict_window.create ~window_size:4 in
+  let at drop_time verdict = { Verdict_window.verdict; blame = 0.5; drop_time; evidence = () } in
+  Verdict_window.record w (at 10. Blame.Guilty);
+  Verdict_window.record w (at 20. Blame.Guilty);
+  Verdict_window.record w (at 30. Blame.Innocent);
+  Verdict_window.expire w ~before:20.;
+  check Alcotest.int "entry at the horizon survives" 2 (Verdict_window.length w);
+  check (Alcotest.list (Alcotest.float 0.))
+    "survivors keep order" [ 20.; 30. ]
+    (List.map (fun e -> e.Verdict_window.drop_time) (Verdict_window.entries w));
+  check Alcotest.int "guilty count tracks the boundary" 1 (Verdict_window.guilty_count w);
+  (* The next representable instant past the horizon expires it. *)
+  Verdict_window.expire w ~before:(Float.succ 20.);
+  check (Alcotest.list (Alcotest.float 0.))
+    "strictly-older entry expired" [ 30. ]
+    (List.map (fun e -> e.Verdict_window.drop_time) (Verdict_window.entries w));
+  (* Expiring with an older horizon is a no-op, including across eviction
+     wraparound. *)
+  Verdict_window.record w (at 40. Blame.Guilty);
+  Verdict_window.record w (at 50. Blame.Guilty);
+  Verdict_window.record w (at 60. Blame.Guilty);
+  Verdict_window.record w (at 70. Blame.Guilty);
+  Verdict_window.expire w ~before:0.;
+  check Alcotest.int "no-op expire after wraparound" 4 (Verdict_window.length w)
+
 (* Reference model for the window: a plain list of (verdict, drop_time),
    oldest first, truncated to the last [window_size] on push and filtered on
    expire. The real structure must agree after any operation sequence. *)
@@ -780,6 +809,8 @@ let suites =
     ( "core.verdict_window",
       [
         Alcotest.test_case "sliding window counting" `Quick test_verdict_window_counting;
+        Alcotest.test_case "expire at the exact window edge" `Quick
+          test_verdict_window_expire_exact_edge;
         qtest prop_verdict_window_matches_list_model;
       ] );
     ( "core.accusation_model",

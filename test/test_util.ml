@@ -212,6 +212,75 @@ let prop_fenwick_sampling_hits_positive_weights =
       let index = Fenwick.find_by_weight t (u *. Fenwick.total t) in
       Fenwick.get t index > 0.)
 
+(* Linear-scan reference for [find_by_weight]'s documented contract: the
+   smallest index whose prefix sum exceeds x, clamped to the last
+   positive-weight index (0 when all weights are zero) once x reaches the
+   total. *)
+let find_by_weight_reference weights x =
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i >= n then None
+    else
+      let acc = acc +. weights.(i) in
+      if acc > x then Some i else scan (i + 1) acc
+  in
+  match scan 0 0. with
+  | Some i -> i
+  | None ->
+      let last = ref 0 in
+      Array.iteri (fun i w -> if w > 0. then last := i) weights;
+      !last
+
+let test_fenwick_boundary_clamps () =
+  let t = Fenwick.create 4 in
+  List.iteri (fun i w -> Fenwick.set t i w) [ 1.; 0.; 2.; 0. ];
+  (* x = total: no index has prefix sum > total, so the contract clamps to
+     the last positive-weight index (2, not the zero-weight tail). *)
+  check Alcotest.int "x = total" 2 (Fenwick.find_by_weight t (Fenwick.total t));
+  check Alcotest.int "x just above total" 2 (Fenwick.find_by_weight t (Fenwick.total t +. 0.5));
+  let zeros = Fenwick.create 3 in
+  check Alcotest.int "all-zero tree" 0 (Fenwick.find_by_weight zeros 0.);
+  Alcotest.check_raises "negative target"
+    (Invalid_argument "Fenwick.find_by_weight: negative target") (fun () ->
+      ignore (Fenwick.find_by_weight t (-1.)));
+  Alcotest.check_raises "empty tree"
+    (Invalid_argument "Fenwick.find_by_weight: empty tree") (fun () ->
+      ignore (Fenwick.find_by_weight (Fenwick.create 0) 0.))
+
+let test_fenwick_fp_accumulation_at_boundary () =
+  (* 1000 x 0.1 accumulates differently in the tree's internal nodes than
+     in a flat sum; u *. total at u -> 1 historically tripped the
+     "target exceeds total" guard. The clamp must return the last positive
+     index for x = total and anything the sampler can produce near it. *)
+  let n = 1000 in
+  let t = Fenwick.create n in
+  for i = 0 to n - 1 do
+    Fenwick.set t i 0.1
+  done;
+  let total = Fenwick.total t in
+  check Alcotest.int "x = total" (n - 1) (Fenwick.find_by_weight t total);
+  check Alcotest.int "x = pred total" (n - 1) (Fenwick.find_by_weight t (Float.pred total));
+  (* A trailing zero run must never be sampled, even at the boundary. *)
+  Fenwick.set t (n - 1) 0.;
+  Fenwick.set t (n - 2) 0.;
+  check Alcotest.int "trailing zeros skipped" (n - 3)
+    (Fenwick.find_by_weight t (Fenwick.total t))
+
+let prop_fenwick_matches_reference =
+  (* Weights are quarter-integers, so flat and tree prefix sums are both
+     exact and the reference comparison cannot drift by an ulp; the
+     dedicated FP test above covers inexact accumulation. u = 1 drives x
+     exactly onto the total: the boundary case. *)
+  QCheck.Test.make ~name:"find_by_weight matches linear-scan reference" ~count:500
+    QCheck.(pair (small_list (int_bound 12)) (float_bound_inclusive 1.))
+    (fun (quarters, u) ->
+      QCheck.assume (quarters <> []);
+      let weights = Array.of_list (List.map (fun k -> 0.25 *. float_of_int k) quarters) in
+      let t = Fenwick.create (Array.length weights) in
+      Array.iteri (fun i w -> Fenwick.set t i w) weights;
+      let x = u *. Fenwick.total t in
+      Fenwick.find_by_weight t x = find_by_weight_reference weights x)
+
 (* ---------- Sorted ---------- *)
 
 let test_sorted_bounds () =
@@ -234,6 +303,48 @@ let prop_sorted_bounds_bracket =
       && Array.for_all (fun y -> y = x) (Array.sub a lo (hi - lo))
       && (lo = 0 || a.(lo - 1) < x)
       && (hi = Array.length a || a.(hi) > x))
+
+(* Linear references for the binary searches: first index >= / > x. *)
+let lower_bound_reference a x =
+  let n = Array.length a in
+  let rec scan i = if i >= n || a.(i) >= x then i else scan (i + 1) in
+  scan 0
+
+let upper_bound_reference a x =
+  let n = Array.length a in
+  let rec scan i = if i >= n || a.(i) > x then i else scan (i + 1) in
+  scan 0
+
+let test_sorted_empty_array () =
+  let a = [||] in
+  check Alcotest.int "lower on empty" 0 (Sorted.lower_bound Int.compare a 5);
+  check Alcotest.int "upper on empty" 0 (Sorted.upper_bound Int.compare a 5);
+  check Alcotest.bool "mem on empty" false (Sorted.mem Int.compare a 5);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "range on empty" (0, 0)
+    (Sorted.equal_range Int.compare a 5)
+
+let test_sorted_all_equal () =
+  let a = Array.make 7 4 in
+  check Alcotest.int "lower below" 0 (Sorted.lower_bound Int.compare a 3);
+  check Alcotest.int "upper below" 0 (Sorted.upper_bound Int.compare a 3);
+  check Alcotest.int "lower at" 0 (Sorted.lower_bound Int.compare a 4);
+  check Alcotest.int "upper at" 7 (Sorted.upper_bound Int.compare a 4);
+  check Alcotest.int "lower above" 7 (Sorted.lower_bound Int.compare a 5);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "full range" (0, 7)
+    (Sorted.equal_range Int.compare a 4)
+
+let prop_sorted_matches_reference_on_duplicate_runs =
+  (* Values drawn from a tiny alphabet force long duplicate runs; probes
+     include absent values on both flanks of every run. *)
+  QCheck.Test.make ~name:"bounds match linear reference on duplicate-run arrays" ~count:500
+    QCheck.(pair (list_of_size Gen.(0 -- 40) (int_bound 5)) (int_range (-1) 6))
+    (fun (list, x) ->
+      let a = Array.of_list (List.sort Int.compare list) in
+      Sorted.lower_bound Int.compare a x = lower_bound_reference a x
+      && Sorted.upper_bound Int.compare a x = upper_bound_reference a x
+      && Sorted.mem Int.compare a x = Array.exists (fun y -> y = x) a
+      && Sorted.equal_range Int.compare a x
+         = (lower_bound_reference a x, upper_bound_reference a x))
 
 (* ---------- Ring_buffer ---------- *)
 
@@ -262,6 +373,46 @@ let prop_ring_buffer_keeps_newest =
       let n = List.length pushes in
       let expected = List.filteri (fun i _ -> i >= n - capacity) pushes in
       Ring_buffer.to_list r = expected)
+
+(* List-model conformance: replay a random Push/Clear script against both
+   the ring buffer and a plain list of the newest [capacity] elements,
+   comparing contents, length, fullness and the evicted element after every
+   step. Scripts long enough to wrap the buffer several times exercise the
+   start-index arithmetic across wraparound. *)
+let prop_ring_buffer_matches_list_model =
+  let op_gen = QCheck.Gen.(frequency [ (9, map (fun x -> `Push x) small_int); (1, pure `Clear) ]) in
+  QCheck.Test.make ~name:"ring buffer matches list model under push/clear scripts" ~count:300
+    QCheck.(pair (int_range 1 5) (make ~print:(fun ops -> string_of_int (List.length ops))
+                                    Gen.(list_size (0 -- 60) op_gen)))
+    (fun (capacity, ops) ->
+      let r = Ring_buffer.create capacity in
+      let model = ref [] (* oldest first, length <= capacity *) in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Push x ->
+              let evicted = Ring_buffer.push r x in
+              let expected_evicted =
+                if List.length !model >= capacity then (
+                  match !model with
+                  | oldest :: rest ->
+                      model := rest;
+                      Some oldest
+                  | [] -> None)
+                else None
+              in
+              model := !model @ [ x ];
+              evicted = expected_evicted
+          | `Clear ->
+              Ring_buffer.clear r;
+              model := [];
+              true)
+          && Ring_buffer.to_list r = !model
+          && Ring_buffer.length r = List.length !model
+          && Ring_buffer.is_full r = (List.length !model = capacity)
+          && Ring_buffer.count (fun x -> x mod 2 = 0) r
+             = List.length (List.filter (fun x -> x mod 2 = 0) !model))
+        ops)
 
 (* ---------- Hashing ---------- *)
 
@@ -310,18 +461,26 @@ let suites =
       [
         Alcotest.test_case "prefix sums" `Quick test_fenwick_prefix_sums;
         Alcotest.test_case "find by weight" `Quick test_fenwick_find_by_weight;
+        Alcotest.test_case "boundary clamps" `Quick test_fenwick_boundary_clamps;
+        Alcotest.test_case "fp accumulation at boundary" `Quick
+          test_fenwick_fp_accumulation_at_boundary;
         qtest prop_fenwick_sampling_hits_positive_weights;
+        qtest prop_fenwick_matches_reference;
       ] );
     ( "util.sorted",
       [
         Alcotest.test_case "bounds" `Quick test_sorted_bounds;
+        Alcotest.test_case "empty array" `Quick test_sorted_empty_array;
+        Alcotest.test_case "all-equal array" `Quick test_sorted_all_equal;
         qtest prop_sorted_bounds_bracket;
+        qtest prop_sorted_matches_reference_on_duplicate_runs;
       ] );
     ( "util.ring_buffer",
       [
         Alcotest.test_case "eviction" `Quick test_ring_buffer_eviction;
         Alcotest.test_case "clear" `Quick test_ring_buffer_clear;
         qtest prop_ring_buffer_keeps_newest;
+        qtest prop_ring_buffer_matches_list_model;
       ] );
     ( "util.hashing",
       [
