@@ -1,0 +1,242 @@
+(* Inter-module reference resolution and call-graph construction.
+
+   Qualified identifier paths are resolved through three scopes, in order:
+   local [module X = Path] aliases, the wrapped library roots
+   ([Concilium_util.Prng.int]), and sibling modules of the same library.
+   Unqualified identifiers resolve only within their own module — an
+   [open]ed module's values are not chased (the tree under analysis opens
+   only external libraries such as Cmdliner).  Unresolvable heads are
+   external by construction (Stdlib, Str, ...) and are handled by the
+   effect scanner's intrinsic tables instead. *)
+
+type key = { k_lib : string; k_mod : string; k_fn : string }
+
+let key_compare a b =
+  match String.compare a.k_lib b.k_lib with
+  | 0 -> ( match String.compare a.k_mod b.k_mod with 0 -> String.compare a.k_fn b.k_fn | c -> c)
+  | c -> c
+
+let key_to_string k = Printf.sprintf "%s.%s.%s" k.k_lib k.k_mod k.k_fn
+let display k = Printf.sprintf "%s.%s" k.k_mod k.k_fn
+
+type call = { c_callee : key; c_line : int; c_atoms : Source.atom list }
+
+(* A cross-library module reference; the raw material of the layering
+   check. *)
+type xref = { x_from : string; x_to : string; x_file : string; x_line : int; x_token : string }
+
+type program = {
+  p_modules : Source.module_info list;  (* sorted by path *)
+  p_by_lib : (string, (string, Source.module_info) Hashtbl.t) Hashtbl.t;
+  p_defs : (string, Source.def * Source.module_info) Hashtbl.t;  (* key_to_string *)
+}
+
+let find_module program ~lib ~modname =
+  match Hashtbl.find_opt program.p_by_lib lib with
+  | None -> None
+  | Some mods -> Hashtbl.find_opt mods modname
+
+let find_def program key = Hashtbl.find_opt program.p_defs (key_to_string key)
+
+let build modules =
+  let modules =
+    List.sort (fun a b -> String.compare a.Source.m_path b.Source.m_path) modules
+  in
+  let by_lib = Hashtbl.create 16 in
+  let defs = Hashtbl.create 512 in
+  List.iter
+    (fun (m : Source.module_info) ->
+      let mods =
+        match Hashtbl.find_opt by_lib m.Source.m_library with
+        | Some mods -> mods
+        | None ->
+            let mods = Hashtbl.create 16 in
+            Hashtbl.replace by_lib m.Source.m_library mods;
+            mods
+      in
+      Hashtbl.replace mods m.Source.m_name m;
+      List.iter
+        (fun (d : Source.def) ->
+          let key = { k_lib = m.Source.m_library; k_mod = m.Source.m_name; k_fn = d.Source.d_name } in
+          Hashtbl.replace defs (key_to_string key) (d, m))
+        m.Source.m_defs)
+    modules;
+  { p_modules = modules; p_by_lib = by_lib; p_defs = defs }
+
+(* ---------- Path resolution ---------- *)
+
+let wrapper_prefix = "Concilium_"
+
+let lib_of_wrapper name =
+  let n = String.length wrapper_prefix in
+  if String.length name > n && String.sub name 0 n = wrapper_prefix then
+    Some (String.lowercase_ascii name)
+  else None
+
+type resolution =
+  | Value of key  (* a value path into a known module *)
+  | Module_ref of string * string  (* library, module: no value component *)
+  | External
+
+(* [segments] is a dotted path, head first.  [m] provides aliases and the
+   sibling scope. *)
+let resolve program (m : Source.module_info) segments =
+  let rec go depth segments =
+    if depth > 4 then External
+    else
+      match segments with
+      | [] -> External
+      | head :: rest when Source.is_upper head.[0] -> (
+          match List.assoc_opt head m.Source.m_aliases with
+          | Some target -> go (depth + 1) (target @ rest)
+          | None -> (
+              match lib_of_wrapper head with
+              | Some lib when Hashtbl.mem program.p_by_lib lib -> in_library lib rest
+              | _ ->
+                  (* sibling module of the same library (lib/ trees only:
+                     bin modules are standalone executables) *)
+                  if
+                    m.Source.m_library <> "bin"
+                    && find_module program ~lib:m.Source.m_library ~modname:head <> None
+                  then in_library m.Source.m_library (head :: rest)
+                  else External))
+      | _ -> External
+  and in_library lib = function
+    | [] -> Module_ref (lib, "")
+    | modname :: path when Source.is_upper modname.[0] ->
+        if find_module program ~lib ~modname <> None then
+          match path with
+          | [] -> Module_ref (lib, modname)
+          | _ -> Value { k_lib = lib; k_mod = modname; k_fn = String.concat "." path }
+        else Module_ref (lib, modname)
+    | _ -> External
+  in
+  go 0 segments
+
+(* ---------- Reference scanning ---------- *)
+
+let token_re =
+  Str.regexp "[A-Za-z_][A-Za-z0-9_']*\\(\\.[A-Za-z_][A-Za-z0-9_']*\\)*"
+
+let line_of_pos body from_line pos =
+  let line = ref from_line in
+  for i = 0 to min pos (String.length body) - 1 do
+    if body.[i] = '\n' then incr line
+  done;
+  !line
+
+(* All resolved calls and cross-library references in [body] (scrubbed text
+   whose first line is [from_line]), resolved in module [m]'s scope.
+   [locals] names identifiers that shadow module definitions. *)
+let scan_body program (m : Source.module_info) ~from_line ~locals body =
+  let calls = ref [] in
+  let xrefs = ref [] in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Str.search_forward token_re body !pos with
+    | exception Not_found -> continue := false
+    | at ->
+        let token = Str.matched_string body in
+        let token_end = Str.match_end () in
+        pos := token_end;
+        let before_ok = at = 0 || (body.[at - 1] <> '~' && body.[at - 1] <> '?') in
+        if before_ok then begin
+          let segments = String.split_on_char '.' token in
+          match segments with
+          | head :: _ when Source.is_upper head.[0] -> (
+              match resolve program m segments with
+              | Value key ->
+                  if key.k_lib <> m.Source.m_library then
+                    xrefs :=
+                      {
+                        x_from = m.Source.m_library;
+                        x_to = key.k_lib;
+                        x_file = m.Source.m_path;
+                        x_line = line_of_pos body from_line at;
+                        x_token = token;
+                      }
+                      :: !xrefs;
+                  if find_def program key <> None then
+                    calls :=
+                      {
+                        c_callee = key;
+                        c_line = line_of_pos body from_line at;
+                        c_atoms = Source.parse_atoms body token_end;
+                      }
+                      :: !calls
+              | Module_ref (lib, _) ->
+                  if lib <> m.Source.m_library then
+                    xrefs :=
+                      {
+                        x_from = m.Source.m_library;
+                        x_to = lib;
+                        x_file = m.Source.m_path;
+                        x_line = line_of_pos body from_line at;
+                        x_token = token;
+                      }
+                      :: !xrefs
+              | External -> ())
+          | [ name ] when not (List.mem name locals) ->
+              (* unqualified: a sibling definition of the same module *)
+              let key =
+                { k_lib = m.Source.m_library; k_mod = m.Source.m_name; k_fn = name }
+              in
+              if find_def program key <> None then
+                calls :=
+                  {
+                    c_callee = key;
+                    c_line = line_of_pos body from_line at;
+                    c_atoms = Source.parse_atoms body token_end;
+                  }
+                  :: !calls
+          | _ -> ()
+        end
+  done;
+  (List.rev !calls, List.rev !xrefs)
+
+(* ---------- Dumps ---------- *)
+
+let dot program ~edges =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  List.iter
+    (fun (m : Source.module_info) ->
+      List.iter
+        (fun (d : Source.def) ->
+          if not d.Source.d_is_value then
+            Buffer.add_string buffer
+              (Printf.sprintf "  \"%s.%s\";\n" m.Source.m_name d.Source.d_name))
+        m.Source.m_defs)
+    program.p_modules;
+  List.iter
+    (fun (caller, callee) ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n" (display caller) (display callee)))
+    edges;
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer
+
+let jsonl ~edges =
+  let buffer = Buffer.create 4096 in
+  let grouped = Hashtbl.create 256 in
+  List.iter
+    (fun (caller, callee) ->
+      let existing = match Hashtbl.find_opt grouped (key_to_string caller) with Some l -> l | None -> [] in
+      Hashtbl.replace grouped (key_to_string caller) (callee :: existing))
+    edges;
+  let callers =
+    List.sort_uniq String.compare (List.map (fun (c, _) -> key_to_string c) edges)
+  in
+  List.iter
+    (fun caller ->
+      let callees =
+        match Hashtbl.find_opt grouped caller with
+        | Some l -> List.sort_uniq String.compare (List.map key_to_string l)
+        | None -> []
+      in
+      Buffer.add_string buffer
+        (Printf.sprintf "{\"function\": \"%s\", \"calls\": [%s]}\n" caller
+           (String.concat ", " (List.map (fun c -> Printf.sprintf "\"%s\"" c) callees))))
+    callers;
+  Buffer.contents buffer

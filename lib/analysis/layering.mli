@@ -1,0 +1,23 @@
+(** Architecture layering checker over [analysis/layers.txt]: libraries are
+    listed bottom-up, one layer per line, and every cross-library edge must
+    point to a strictly lower layer. *)
+
+type spec
+
+val parse : string -> (spec, string) result
+(** Parse a layers file.  Short names ("util") and full library names
+    ("concilium_util") are both accepted; [#] starts a comment. *)
+
+val layer_of : spec -> string -> int option
+
+type edge = { e_from : string; e_to : string; e_file : string; e_line : int; e_what : string }
+
+val check : spec -> edge list -> Finding.t list
+(** [layer-back-edge] for every edge that does not point strictly downward,
+    [layer-unknown] once per library missing from the spec.  Pure, so tests
+    can drive it with synthetic layerings and edge sets. *)
+
+val dune_edges : path:string -> string -> edge list
+(** Library-dependency edges declared by a dune file's [(libraries ...)]. *)
+
+val xref_edges : Callgraph.xref list -> edge list

@@ -1,0 +1,7 @@
+(** Pool race detector: checks every [Pool.parallel_init]/[parallel_map]
+    task against the determinism contract — no writes to shared mutable
+    state outside the per-shard collector or per-task slot, randomness only
+    from task-owned split-derived generators, no I/O, no raw domain
+    primitives.  Findings carry the call-graph trail from the root. *)
+
+val analyze : Callgraph.program -> Effects.t -> Finding.t list

@@ -19,13 +19,15 @@ let split_lines source =
 
 let is_quoted_tag_char c = (c >= 'a' && c <= 'z') || c = '_'
 
-(* States of the scan.  OCaml comments nest, and string literals inside
-   comments are themselves lexed (an unbalanced quote inside a comment is a
-   syntax error in real OCaml), so the comment state tracks both depth and
-   an in-string flag. *)
+(* States of the scan.  OCaml comments nest, and literals inside comments
+   are themselves lexed (an unbalanced quote inside a comment is a syntax
+   error in real OCaml), so the comment state tracks nesting depth, an
+   in-string flag, and an open {tag|...|tag} quoted literal.  Character
+   literals are consumed whole in both code and comments, so a ['"'] never
+   opens a phantom string and a [{|*)|}] never closes the comment. *)
 type state =
   | Code
-  | Comment of { depth : int; in_string : bool }
+  | Comment of { depth : int; in_string : bool; quoted : string option }
   | String_lit
   | Quoted_lit of string (* the {tag| ... |tag} delimiter tag *)
 
@@ -89,7 +91,7 @@ let scrub source =
     (match !state with
     | Code ->
         if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
-          state := Comment { depth = 1; in_string = false };
+          state := Comment { depth = 1; in_string = false; quoted = None };
           comment_start := !line;
           blank c; blank '*';
           incr i
@@ -115,10 +117,25 @@ let scrub source =
                   i := !i + len - 1
               | None -> emit c)
         end
-    | Comment { depth; in_string } ->
-        Buffer.add_char comment_buf c;
-        blank c;
+    | Comment { depth; in_string; quoted = Some tag } ->
+        (* A {tag|...|tag} literal open inside the comment: nothing is
+           special until the matching |tag}, not even a ( * or * ). *)
+        if quoted_close tag !i then begin
+          for j = !i to !i + String.length tag + 1 do
+            Buffer.add_char comment_buf source.[j];
+            blank source.[j]
+          done;
+          i := !i + String.length tag + 1;
+          state := Comment { depth; in_string; quoted = None }
+        end
+        else begin
+          Buffer.add_char comment_buf c;
+          blank c
+        end
+    | Comment { depth; in_string; quoted = None } ->
         if in_string then begin
+          Buffer.add_char comment_buf c;
+          blank c;
           if c = '\\' && !i + 1 < n then begin
             let next = source.[!i + 1] in
             if next = '\n' then incr line;
@@ -126,24 +143,48 @@ let scrub source =
             blank next;
             incr i
           end
-          else if c = '"' then state := Comment { depth; in_string = false }
+          else if c = '"' then state := Comment { depth; in_string = false; quoted = None }
         end
-        else if c = '"' then state := Comment { depth; in_string = true }
-        else if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
-          Buffer.add_char comment_buf '*';
-          blank '*';
-          incr i;
-          state := Comment { depth = depth + 1; in_string = false }
-        end
-        else if c = '*' && !i + 1 < n && source.[!i + 1] = ')' then begin
-          Buffer.add_char comment_buf ')';
-          blank ')';
-          incr i;
-          if depth = 1 then begin
-            state := Code;
-            finish_comment ()
-          end
-          else state := Comment { depth = depth - 1; in_string = false }
+        else begin
+          (* Character literals are consumed whole so '"' and '{' never leak
+             into the string/quoted scanners below. *)
+          match if c = '\'' then char_literal_length !i else None with
+          | Some len ->
+              for j = !i to !i + len - 1 do
+                if j > !i && source.[j] = '\n' then incr line;
+                Buffer.add_char comment_buf source.[j];
+                blank source.[j]
+              done;
+              i := !i + len - 1
+          | None -> (
+              match quoted_open !i with
+              | Some tag ->
+                  for j = !i to !i + String.length tag + 1 do
+                    Buffer.add_char comment_buf source.[j];
+                    blank source.[j]
+                  done;
+                  i := !i + String.length tag + 1;
+                  state := Comment { depth; in_string = false; quoted = Some tag }
+              | None ->
+                  Buffer.add_char comment_buf c;
+                  blank c;
+                  if c = '"' then state := Comment { depth; in_string = true; quoted = None }
+                  else if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
+                    Buffer.add_char comment_buf '*';
+                    blank '*';
+                    incr i;
+                    state := Comment { depth = depth + 1; in_string = false; quoted = None }
+                  end
+                  else if c = '*' && !i + 1 < n && source.[!i + 1] = ')' then begin
+                    Buffer.add_char comment_buf ')';
+                    blank ')';
+                    incr i;
+                    if depth = 1 then begin
+                      state := Code;
+                      finish_comment ()
+                    end
+                    else state := Comment { depth = depth - 1; in_string = false; quoted = None }
+                  end)
         end
     | String_lit ->
         if c = '\\' && !i + 1 < n then begin

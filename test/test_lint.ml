@@ -63,6 +63,54 @@ let test_lexer_quoted_string () =
     | _ -> true);
   check string "following code intact" "let z = 2" (String.trim scrubbed.Lexer.code_lines.(1))
 
+(* Literals inside comments are themselves lexed: a string or quoted string
+   containing a close-comment sequence must not terminate the comment, and
+   a double-quote character literal must not open a phantom string. *)
+let test_lexer_string_in_comment () =
+  let source = "(* a string: " ^ "\"*)\"" ^ " still comment *)\nlet x = 1\n" in
+  let scrubbed = Lexer.scrub source in
+  (match scrubbed.Lexer.comments with
+  | [ c ] ->
+      check bool "comment spans past the quoted close" true
+        (match Str.search_forward (Str.regexp_string "still comment") c.Lexer.text 0 with
+        | exception Not_found -> false
+        | _ -> true)
+  | comments -> failf "expected one comment, got %d" (List.length comments));
+  check string "code after the comment kept" "let x = 1" (String.trim scrubbed.Lexer.code_lines.(1))
+
+let test_lexer_quoted_string_in_comment () =
+  let source = "(* quoted: {q|*)|q} still comment *)\nlet y = 2\n" in
+  let scrubbed = Lexer.scrub source in
+  (match scrubbed.Lexer.comments with
+  | [ c ] ->
+      check bool "comment spans past {q|*)|q}" true
+        (match Str.search_forward (Str.regexp_string "still comment") c.Lexer.text 0 with
+        | exception Not_found -> false
+        | _ -> true)
+  | comments -> failf "expected one comment, got %d" (List.length comments));
+  check string "code after the comment kept" "let y = 2" (String.trim scrubbed.Lexer.code_lines.(1))
+
+let test_lexer_char_literal_in_comment () =
+  (* '"' inside a comment must not toggle the in-string flag; if it did,
+     the comment close would be swallowed and `let z = 3` lost. *)
+  let source = "(* quote char: " ^ "'\"'" ^ " end *)\nlet z = 3\n" in
+  let scrubbed = Lexer.scrub source in
+  check int "one comment" 1 (List.length scrubbed.Lexer.comments);
+  check string "code after the comment kept" "let z = 3" (String.trim scrubbed.Lexer.code_lines.(1))
+
+let test_lexer_escaped_quote_in_string () =
+  (* "\"" — the escaped quote must not close the literal early. *)
+  let source = "let s = \"a\\\"b\" in List.hd s\n" in
+  let scrubbed = Lexer.scrub source in
+  check bool "string fully blanked including escape" false
+    (match Str.search_forward (Str.regexp_string "a\\") scrubbed.Lexer.code_lines.(0) 0 with
+    | exception Not_found -> false
+    | _ -> true);
+  check bool "code after the literal survives" true
+    (match Str.search_forward (Str.regexp_string "List.hd") scrubbed.Lexer.code_lines.(0) 0 with
+    | exception Not_found -> false
+    | _ -> true)
+
 (* ---------- Determinism rules ---------- *)
 
 let test_random_rule () =
@@ -256,6 +304,10 @@ let suites =
         test_case "nested comments" `Quick test_lexer_nested_comments;
         test_case "char literal vs type variable" `Quick test_lexer_char_literal_vs_type_var;
         test_case "quoted string literals" `Quick test_lexer_quoted_string;
+        test_case "string containing *) inside comment" `Quick test_lexer_string_in_comment;
+        test_case "quoted string inside comment" `Quick test_lexer_quoted_string_in_comment;
+        test_case "char literal inside comment" `Quick test_lexer_char_literal_in_comment;
+        test_case "escaped quote inside string" `Quick test_lexer_escaped_quote_in_string;
       ] );
     ( "lint.determinism",
       [
