@@ -237,6 +237,26 @@ let chord_route_bench =
      let rng = Prng.of_seed 11L in
      ignore (Concilium_overlay.Chord.route overlay ~from:0 ~dest:(Id.random rng)))
 
+let chord_route_reference_bench =
+  Test.make ~name:"overlay:chord-route-reference"
+    (Staged.stage @@ fun () ->
+     (* The retained linear-scan forwarding, driven through the same route
+        shape as overlay:chord-route: the guard below checks the O(log n)
+        jump-table path never regresses past this baseline. *)
+     let overlay = Lazy.force chord_fixture in
+     let rng = Prng.of_seed 11L in
+     let dest = Id.random rng in
+     let owner = Concilium_overlay.Chord.successor_of_key overlay dest in
+     let rec loop current remaining =
+       if current = owner || remaining = 0 then ()
+       else begin
+         match Concilium_overlay.Chord.next_hop_reference overlay ~from:current ~dest with
+         | None -> ()
+         | Some next -> loop next (remaining - 1)
+       end
+     in
+     loop 0 756)
+
 let secure_routing_bench =
   Test.make ~name:"overlay:redundant-route"
     (Staged.stage @@ fun () ->
@@ -299,6 +319,7 @@ let benchmark () =
       secure_table_bench;
       sha256_bench;
       chord_route_bench;
+      chord_route_reference_bench;
       secure_routing_bench;
       validation_bench;
       chaos_bench;
@@ -316,13 +337,16 @@ let benchmark () =
 
 (* ---------- Output ---------- *)
 
-(* Machine-readable dump for BENCH_baseline.json: one record per benchmark
-   with the OLS ns/run estimate, plus the harness's own profile spans.
-   Collected rows are sorted by name because Hashtbl iteration order is
+(* An OLS fit with a weak (or negative) r² means the ns/run estimate is
+   noise-dominated — comparisons against it are not actionable. Flag such
+   rows instead of letting them masquerade as measurements. *)
+let low_confidence_threshold = 0.5
+
+let low_confidence r_square = Float.is_nan r_square || r_square < low_confidence_threshold
+
+(* Collected rows are sorted by name because Hashtbl iteration order is
    seed-dependent. *)
-let json_of_results results =
-  let buf = Buffer.create 4096 in
-  let add fmt = Printf.bprintf buf fmt in
+let rows_of_results results =
   let rows = ref [] in
   Hashtbl.iter
     (fun _measure per_test ->
@@ -337,9 +361,14 @@ let json_of_results results =
           rows := (name, ns_per_run, r_square) :: !rows)
         per_test)
     results;
-  let rows =
-    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
-  in
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
+
+(* Machine-readable dump for BENCH_baseline.json: one record per benchmark
+   with the OLS ns/run estimate, plus the harness's own profile spans. *)
+let json_of_results results =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.bprintf buf fmt in
+  let rows = rows_of_results results in
   add "{\n";
   add "  \"host\": { \"cores\": %d, \"ocaml\": %S },\n"
     (Pool.default_domains ()) Sys.ocaml_version;
@@ -347,7 +376,9 @@ let json_of_results results =
   add "  \"results\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
-      add "    { \"name\": %S, \"ns_per_run\": %.1f, \"r_square\": %.4f }%s\n" name ns r2
+      add "    { \"name\": %S, \"ns_per_run\": %.1f, \"r_square\": %.4f, \
+           \"low_confidence\": %b }%s\n"
+        name ns r2 (low_confidence r2)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   add "  ],\n";
@@ -361,6 +392,42 @@ let json_of_results results =
     spans;
   add "  ]\n}\n";
   Buffer.contents buf
+
+let render_flags rows =
+  let flagged = List.filter (fun (_, _, r2) -> low_confidence r2) rows in
+  List.iter
+    (fun (name, ns, r2) ->
+      Printf.printf "low-confidence %-45s %10.1f ns/run (r_square=%.4f < %.1f)\n" name ns r2
+        low_confidence_threshold)
+    flagged;
+  if flagged <> [] then
+    Printf.printf "%d of %d estimates are noise-dominated; treat their ns/run as indicative only.\n"
+      (List.length flagged) (List.length rows)
+
+(* Regression guards: relationships between benchmarks that must hold
+   regardless of absolute host speed. *)
+let render_guards rows =
+  let find suffix =
+    List.find_map
+      (fun (name, ns, r2) ->
+        let n = String.length name and s = String.length suffix in
+        if n >= s && String.sub name (n - s) s = suffix then Some (ns, r2) else None)
+      rows
+  in
+  match (find "overlay:chord-route", find "overlay:chord-route-reference") with
+  | Some (fast, fast_r2), Some (reference, ref_r2) ->
+      let ratio = if reference > 0. then fast /. reference else Float.infinity in
+      let confident = not (low_confidence fast_r2 || low_confidence ref_r2) in
+      let ok = ratio <= 1.0 || not confident in
+      Printf.printf "guard chord-route <= reference: %.1f vs %.1f ns/run (%.2fx) %s\n" fast
+        reference ratio
+        (if ratio <= 1.0 then if confident then "ok" else "ok (low confidence)"
+         else if not confident then "skipped (low confidence)"
+         else "FAILED");
+      ok
+  | _ ->
+      print_endline "guard chord-route <= reference: benchmarks missing, FAILED";
+      false
 
 let render_table results =
   let open Bechamel_notty in
@@ -384,7 +451,8 @@ let () =
     (fun i arg -> if arg = "--out" && i + 1 < Array.length Sys.argv then out := Some Sys.argv.(i + 1))
     Sys.argv;
   let results, _ = benchmark () in
-  match !out with
+  let rows = rows_of_results results in
+  (match !out with
   | Some path ->
       let document = json_of_results results in
       let oc = open_out path in
@@ -393,4 +461,7 @@ let () =
         (fun () -> output_string oc document);
       render_table results;
       Printf.printf "json -> %s\n" path
-  | None -> if json then print_string (json_of_results results) else render_table results
+  | None -> if json then print_string (json_of_results results) else render_table results);
+  if not json then render_flags rows;
+  let guards_ok = if json then true else render_guards rows in
+  if not guards_ok then exit 1

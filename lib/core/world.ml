@@ -44,7 +44,7 @@ type t = {
   generated : Generate.world;
   pastry : Pastry.t;
   host_router : int array;
-  router_node : (int, int) Hashtbl.t;
+  router_node : int array;  (* router -> node, -1 when the router hosts none *)
   peers : int array array;
   peer_paths : Routes.path option array array;
   trees : Tree.t array;
@@ -52,7 +52,10 @@ type t = {
   pki : Pki.t;
   certificates : Pki.certificate array;
   secrets : Pki.secret_key array;
-  vouchers_of_link : (int, int list) Hashtbl.t;
+  (* CSR over links: vouchers for link l are
+     voucher_nodes[voucher_offsets.(l) .. voucher_offsets.(l+1)), ascending. *)
+  voucher_offsets : int array;
+  voucher_nodes : int array;
 }
 
 let build config =
@@ -94,19 +97,31 @@ let build config =
         Tree.of_paths ~root:host_router.(v) ~paths)
   in
   let logical = Array.map Logical_tree.of_tree trees in
-  let vouchers_of_link = Hashtbl.create 4096 in
+  (* Two-pass CSR build: count vouchers per link, then fill node-major so
+     each link's slice ends up in ascending node order. *)
+  let link_count = Graph.link_count graph in
+  let voucher_offsets = Array.make (link_count + 1) 0 in
+  Array.iter
+    (fun tree ->
+      Array.iter
+        (fun link -> voucher_offsets.(link + 1) <- voucher_offsets.(link + 1) + 1)
+        (Tree.physical_links tree))
+    trees;
+  for link = 0 to link_count - 1 do
+    voucher_offsets.(link + 1) <- voucher_offsets.(link + 1) + voucher_offsets.(link)
+  done;
+  let voucher_nodes = Array.make voucher_offsets.(link_count) 0 in
+  let cursor = Array.copy voucher_offsets in
   Array.iteri
     (fun v tree ->
       Array.iter
         (fun link ->
-          let existing =
-            match Hashtbl.find_opt vouchers_of_link link with Some l -> l | None -> []
-          in
-          Hashtbl.replace vouchers_of_link link (v :: existing))
+          voucher_nodes.(cursor.(link)) <- v;
+          cursor.(link) <- cursor.(link) + 1)
         (Tree.physical_links tree))
     trees;
-  let router_node = Hashtbl.create member_count in
-  Array.iteri (fun v router -> Hashtbl.replace router_node router v) host_router;
+  let router_node = Array.make (Graph.node_count graph) (-1) in
+  Array.iteri (fun v router -> router_node.(router) <- v) host_router;
   {
     config;
     generated;
@@ -120,14 +135,20 @@ let build config =
     pki;
     certificates;
     secrets;
-    vouchers_of_link;
+    voucher_offsets;
+    voucher_nodes;
   }
 
 let node_count t = Array.length t.host_router
 let id_of t v = (Pastry.node t.pastry v).Pastry.id
 let public_key_of t v = t.certificates.(v).Pki.subject_key
 
-let node_of_router t router = Hashtbl.find_opt t.router_node router
+let node_of_router t router =
+  if router < 0 || router >= Array.length t.router_node then None
+  else begin
+    let v = t.router_node.(router) in
+    if v < 0 then None else Some v
+  end
 
 let ip_path t ~from_node ~to_node =
   let rec find i =
@@ -141,18 +162,33 @@ let overlay_route t ~from ~dest = Pastry.route t.pastry ~from ~dest
 let next_overlay_hop t ~from ~dest = Pastry.next_hop t.pastry ~from ~dest
 
 let forest_links t v =
-  let seen = Hashtbl.create 1024 in
+  let seen = Concilium_util.Bitset.create (Graph.link_count t.generated.Generate.graph) in
   let add_tree index =
-    Array.iter (fun link -> Hashtbl.replace seen link ()) (Tree.physical_links t.trees.(index))
+    Array.iter
+      (fun link -> Concilium_util.Bitset.add seen link)
+      (Tree.physical_links t.trees.(index))
   in
   add_tree v;
   Array.iter add_tree t.peers.(v);
-  let out = Array.of_seq (Hashtbl.to_seq_keys seen) in
-  Array.sort Int.compare out;
+  let out = Array.make (Concilium_util.Bitset.cardinal seen) 0 in
+  let k = ref 0 in
+  (* Bitset iteration is ascending: the output arrives sorted. *)
+  Concilium_util.Bitset.iter
+    (fun link ->
+      out.(!k) <- link;
+      incr k)
+    seen;
   out
 
 let vouchers t ~link =
-  match Hashtbl.find_opt t.vouchers_of_link link with Some l -> List.rev l | None -> []
+  if link < 0 || link + 1 >= Array.length t.voucher_offsets then []
+  else begin
+    let acc = ref [] in
+    for i = t.voucher_offsets.(link + 1) - 1 downto t.voucher_offsets.(link) do
+      acc := t.voucher_nodes.(i) :: !acc
+    done;
+    !acc
+  end
 
 let all_peer_paths t =
   let out = ref [] in

@@ -35,7 +35,8 @@ type t = {
   generated : Generate.world;
   pastry : Pastry.t;
   host_router : int array;  (** overlay node index -> router id *)
-  router_node : (int, int) Hashtbl.t;  (** inverse of [host_router] *)
+  router_node : int array;
+      (** inverse of [host_router]: router -> node, -1 when none *)
   peers : int array array;  (** overlay node -> its routing peers (overlay indices) *)
   peer_paths : Routes.path option array array;
       (** [peer_paths.(v).(i)] is the IP route from v to [peers.(v).(i)] *)
@@ -44,8 +45,11 @@ type t = {
   pki : Pki.t;
   certificates : Pki.certificate array;
   secrets : Pki.secret_key array;
-  vouchers_of_link : (int, int list) Hashtbl.t;
-      (** physical link -> overlay nodes whose tree covers it *)
+  voucher_offsets : int array;
+  voucher_nodes : int array;
+      (** CSR over physical links: the overlay nodes whose tree covers link
+          [l] are [voucher_nodes.(voucher_offsets.(l))
+          .. voucher_nodes.(voucher_offsets.(l+1) - 1)], ascending. *)
 }
 
 val build : config -> t

@@ -30,3 +30,14 @@ val transitions : t -> host:int -> (float * bool) list
 (** Chronological (time, became-online) events within the horizon. *)
 
 val mean_online_fraction : t -> duration:float -> samples:int -> float
+
+val hosts : t -> int
+
+val toggle_count : t -> int
+(** Total toggles across all hosts (the timeline's storage footprint). *)
+
+val initially_online : t -> host:int -> bool
+
+val events : t -> (float * int) array
+(** Every toggle as one chronological (time, host) stream, ties broken by
+    host index — the churn feed of the scale driver. *)

@@ -23,6 +23,7 @@ let set_on_push t f = t.on_push <- Some f
 let tombstone = { time = neg_infinity; seq = min_int; action = ignore }
 let now t = t.clock
 let pending t = t.size
+let capacity t = Array.length t.data
 
 let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -75,6 +76,15 @@ let pop t =
     (* Clear the vacated slot so the popped event (and whatever its action
        closure captures) becomes collectable. *)
     t.data.(t.size) <- tombstone;
+    (* Halve the backing array once occupancy drops below a quarter: a run
+       whose queue peaked early must not pin its high-water storage for the
+       rest of a long simulation. Amortised O(1) per pop. *)
+    let cap = Array.length t.data in
+    if cap >= 64 && t.size <= cap / 4 then begin
+      let shrunk = Array.make (max 32 (cap / 2)) tombstone in
+      Array.blit t.data 0 shrunk 0 t.size;
+      t.data <- shrunk
+    end;
     Some top
   end
 

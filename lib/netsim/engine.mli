@@ -16,6 +16,11 @@ val schedule : t -> delay:float -> (t -> unit) -> unit
 
 val pending : t -> int
 
+val capacity : t -> int
+(** Event-heap backing-array length. Popping shrinks it once occupancy
+    falls below a quarter, so long runs keep memory proportional to the
+    live queue rather than its high-water mark. *)
+
 val set_on_push : t -> (pending:int -> unit) -> unit
 (** Observability hook, called with the queue depth after every schedule.
     The hook must be passive (no scheduling, no randomness): it exists so a

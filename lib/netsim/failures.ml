@@ -28,13 +28,28 @@ type t = {
 }
 
 let relevant_links_of_routes routes =
-  let seen = Hashtbl.create 4096 in
+  (* A bitset over the link-id range instead of a hashtable: link ids are
+     dense ints, and Bitset.iter yields them already sorted. *)
+  let max_link = ref (-1) in
   Array.iter
-    (fun path -> Array.iter (fun link -> Hashtbl.replace seen link ()) path.Routes.links)
+    (fun path ->
+      Array.iter (fun link -> if link > !max_link then max_link := link) path.Routes.links)
     routes;
-  let out = Array.of_seq (Hashtbl.to_seq_keys seen) in
-  Array.sort Int.compare out;
-  out
+  if !max_link < 0 then [||]
+  else begin
+    let seen = Concilium_util.Bitset.create (!max_link + 1) in
+    Array.iter
+      (fun path -> Array.iter (fun link -> Concilium_util.Bitset.add seen link) path.Routes.links)
+      routes;
+    let out = Array.make (Concilium_util.Bitset.cardinal seen) 0 in
+    let next = ref 0 in
+    Concilium_util.Bitset.iter
+      (fun link ->
+        out.(!next) <- link;
+        incr next)
+      seen;
+    out
+  end
 
 let pick_victim rng config routes =
   (* A random overlay route, then a beta-distributed depth along it. The

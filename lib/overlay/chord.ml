@@ -11,7 +11,16 @@ type node = {
   fingers : entry option array;
 }
 
-type t = { nodes : node array; sorted : (Id.t * int) array }
+type t = {
+  nodes : node array;
+  sorted : (Id.t * int) array;
+  (* Per node: its distinct finger/successor targets sorted by clockwise
+     distance from it ([jump_dists] ascending, [jump_nodes] parallel), so
+     "closest preceding candidate" is a binary search, not a 136-entry
+     scan. *)
+  jump_nodes : int array array;
+  jump_dists : Id.t array array;
+}
 type style = Secure | Standard of Prng.t
 
 let finger_count = 128
@@ -83,14 +92,41 @@ let build ?(successor_count = 8) ?(style = Secure) ids =
         { index; id; successors; fingers })
       ids
   in
-  { nodes; sorted }
+  let jumps_of node =
+    let acc = ref [] in
+    let consider (e : entry) =
+      if not (Id.equal e.peer node.id) then
+        acc := (Id.clockwise_distance node.id e.peer, e.node) :: !acc
+    in
+    Array.iter consider node.successors;
+    Array.iter (fun finger -> Option.iter consider finger) node.fingers;
+    let ordered = List.sort (fun (a, _) (b, _) -> Id.compare a b) !acc in
+    (* Equal distance = same peer (ids are unique): drop duplicates. *)
+    let rec dedup = function
+      | (a, x) :: (b, _) :: rest when Id.equal a b -> dedup ((a, x) :: rest)
+      | pair :: rest -> pair :: dedup rest
+      | [] -> []
+    in
+    let deduped = dedup ordered in
+    (Array.of_list (List.map snd deduped), Array.of_list (List.map fst deduped))
+  in
+  let jump_nodes = Array.make n [||] and jump_dists = Array.make n [||] in
+  Array.iteri
+    (fun i node ->
+      let nodes, dists = jumps_of node in
+      jump_nodes.(i) <- nodes;
+      jump_dists.(i) <- dists)
+    nodes;
+  { nodes; sorted; jump_nodes; jump_dists }
 
 let node_count t = Array.length t.nodes
 let node t i = t.nodes.(i)
 
 let successor_of_key t key = snd t.sorted.(successor_position t.sorted key)
 
-let next_hop t ~from ~dest =
+(* Retained linear-scan forwarding: the reference the O(log n) [next_hop]
+   is property-tested (and benchmarked) against. *)
+let next_hop_reference t ~from ~dest =
   let here = t.nodes.(from) in
   if Id.equal here.id dest then None
   else begin
@@ -122,6 +158,34 @@ let next_hop t ~from ~dest =
       | None ->
           (* Fall back on the immediate successor: guaranteed progress. *)
           if immediate.node = from then None else Some immediate.node
+    end
+  end
+
+let next_hop t ~from ~dest =
+  let here = t.nodes.(from) in
+  if Id.equal here.id dest then None
+  else begin
+    let immediate = here.successors.(0) in
+    if
+      Id.in_clockwise_interval dest ~lo:(Id.succ here.id) ~hi:(Id.succ immediate.peer)
+      || Id.equal dest immediate.peer
+    then if immediate.node = from then None else Some immediate.node
+    else begin
+      (* A candidate qualifies iff its clockwise distance from here is
+         strictly below dest's, and the winner maximises that distance —
+         i.e. the last jump-table entry below [d_dest], found by binary
+         search. Big-endian distance strings compare as unsigned ints, so
+         Id.compare is the right order. *)
+      let dists = t.jump_dists.(from) and nodes = t.jump_nodes.(from) in
+      let d_dest = Id.clockwise_distance here.id dest in
+      let a = ref 0 and b = ref (Array.length dists) in
+      while !a < !b do
+        let mid = (!a + !b) / 2 in
+        if Id.compare dists.(mid) d_dest >= 0 then b := mid else a := mid + 1
+      done;
+      if !a > 0 then Some nodes.(!a - 1)
+      else if immediate.node = from then None
+      else Some immediate.node
     end
   end
 

@@ -45,7 +45,13 @@ val successor_of_key : t -> Id.t -> int
 val next_hop : t -> from:int -> dest:Id.t -> int option
 (** Chord forwarding: the destination's owner if it is the immediate
     successor, otherwise the closest finger/successor preceding [dest].
-    [None] when [from] already owns the key. *)
+    [None] when [from] already owns the key. O(log n) via a per-node jump
+    table sorted by clockwise distance. *)
+
+val next_hop_reference : t -> from:int -> dest:Id.t -> int option
+(** The retained linear-scan implementation; agrees with {!next_hop} on
+    every input (property-tested) and exists as its oracle/bench
+    baseline. *)
 
 val route : t -> from:int -> dest:Id.t -> int list
 (** Hops from [from] to the key's owner.

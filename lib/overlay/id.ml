@@ -113,6 +113,71 @@ let add_power_of_two t k =
   carry byte_index increment;
   Bytes.to_string bytes
 
+(* floor((a + b) / 2) over the plain 128-bit integers (no ring wrap): the
+   129-bit sum is formed byte-wise, then shifted right one bit. Used as the
+   Voronoi boundary between adjacent routing-table candidates: for x <= y
+   a point p prefers x exactly when p <= midpoint x y. *)
+let midpoint a b =
+  let sum = Array.make (bytes_len + 1) 0 in
+  let carry = ref 0 in
+  for i = bytes_len - 1 downto 0 do
+    let s = Char.code a.[i] + Char.code b.[i] + !carry in
+    sum.(i + 1) <- s land 0xFF;
+    carry := s lsr 8
+  done;
+  sum.(0) <- !carry;
+  String.init bytes_len (fun i ->
+      Char.chr (((sum.(i) land 1) lsl 7) lor (sum.(i + 1) lsr 1)))
+
+(* compare (with_digit a index d) b without materialising the substituted
+   identifier — the routing-table sweep calls this in an O(n * digits) inner
+   loop, so it must not allocate. *)
+let compare_substituted a ~index ~digit b =
+  if index < 0 || index >= digits then invalid_arg "Id.compare_substituted: index out of range";
+  if digit < 0 || digit >= base then invalid_arg "Id.compare_substituted: digit out of range";
+  let byte_index = index / 2 in
+  let rec loop i =
+    if i >= bytes_len then 0
+    else begin
+      let av =
+        let raw = Char.code a.[i] in
+        if i <> byte_index then raw
+        else if index land 1 = 0 then (digit lsl 4) lor (raw land 0xF)
+        else (raw land 0xF0) lor digit
+      in
+      let bv = Char.code b.[i] in
+      if av <> bv then Int.compare av bv else loop (i + 1)
+    end
+  in
+  loop 0
+
+(* Smallest and largest identifiers sharing the first [digits_shared] digits
+   of [t]: the suffix digits are filled with 0 / base-1 respectively. *)
+let prefix_bounds t ~digits_shared =
+  if digits_shared < 0 || digits_shared > digits then
+    invalid_arg "Id.prefix_bounds: prefix length out of range";
+  let lo = Bytes.make bytes_len '\000' in
+  let hi = Bytes.make bytes_len '\255' in
+  let full = digits_shared / 2 in
+  Bytes.blit_string t 0 lo 0 full;
+  Bytes.blit_string t 0 hi 0 full;
+  if digits_shared land 1 = 1 then begin
+    let high_nibble = Char.code t.[full] land 0xF0 in
+    Bytes.set lo full (Char.chr high_nibble);
+    Bytes.set hi full (Char.chr (high_nibble lor 0xF))
+  end;
+  (Bytes.to_string lo, Bytes.to_string hi)
+
+(* Index of the highest set bit (0..127), or -1 for zero. *)
+let floor_log2 t =
+  let rec find i = if i >= bytes_len then -1 else if t.[i] <> '\000' then i else find (i + 1) in
+  match find 0 with
+  | -1 -> -1
+  | i ->
+      let v = Char.code t.[i] in
+      let rec top b = if v lsr b <> 0 then b else top (b - 1) in
+      ((bytes_len - 1 - i) * 8) + top 7
+
 let in_clockwise_interval x ~lo ~hi =
   if equal lo hi then false
   else begin

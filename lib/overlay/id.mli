@@ -57,6 +57,25 @@ val add_power_of_two : t -> int -> t
 (** [add_power_of_two id k] = (id + 2^k) mod 2^128, for 0 <= k < 128 — the
     finger targets of a Chord node. *)
 
+val midpoint : t -> t -> t
+(** [midpoint a b] = floor((a + b) / 2) over the plain 128-bit integers (no
+    ring wrap). For adjacent candidates x <= y, a point p prefers x exactly
+    when p <= midpoint x y — the Voronoi boundary used by the incremental
+    routing-table maintenance. *)
+
+val compare_substituted : t -> index:int -> digit:int -> t -> int
+(** [compare_substituted a ~index ~digit b] compares
+    [with_digit a index digit] against [b] without allocating — the
+    routing-table sweep's inner-loop comparison. *)
+
+val prefix_bounds : t -> digits_shared:int -> t * t
+(** Smallest and largest identifiers sharing the first [digits_shared]
+    digits of the argument. *)
+
+val floor_log2 : t -> int
+(** Index of the highest set bit (0..127), or -1 for zero — the finger
+    level of a Chord hop. *)
+
 val in_clockwise_interval : t -> lo:t -> hi:t -> bool
 (** Whether [x] lies in the half-open clockwise interval [lo, hi) of the
     ring (empty when lo = hi). *)

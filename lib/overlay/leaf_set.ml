@@ -28,13 +28,11 @@ let build ~owner ~sorted_ids ~half_size =
   let per_side = min half_size ((available + 1) / 2) in
   let clockwise = take 1 (min per_side available) in
   (* Counter-clockwise must not duplicate clockwise picks in tiny rings. *)
-  let chosen = Hashtbl.create 16 in
-  Array.iter (fun id -> Hashtbl.replace chosen (Id.to_hex id) ()) clockwise;
   let counter_raw = take (-1) available in
   let counter =
     Array.of_list
       (List.filteri
-         (fun i id -> i < per_side && not (Hashtbl.mem chosen (Id.to_hex id)))
+         (fun i id -> i < per_side && not (Array.exists (Id.equal id) clockwise))
          (Array.to_list counter_raw))
   in
   { owner; clockwise; counter_clockwise = counter }

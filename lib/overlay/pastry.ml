@@ -120,15 +120,21 @@ let route t ~from ~dest =
 
 let routing_peers t index =
   let here = t.nodes.(index) in
-  let seen = Hashtbl.create 64 in
-  let add node_index = if node_index <> index then Hashtbl.replace seen node_index () in
+  let seen = Concilium_util.Bitset.create (Array.length t.nodes) in
+  let add node_index = if node_index <> index then Concilium_util.Bitset.add seen node_index in
   Routing_table.iter
     (fun ~row:_ ~col:_ entry ->
       match entry with Some e -> add e.Routing_table.node | None -> ())
     here.table;
   List.iter (fun id -> add (index_of_id_exn t id)) (Leaf_set.members here.leaf_set);
-  let out = Array.of_seq (Hashtbl.to_seq_keys seen) in
-  Array.sort Int.compare out;
+  let out = Array.make (Concilium_util.Bitset.cardinal seen) 0 in
+  let k = ref 0 in
+  (* Bitset iteration is ascending: the output arrives sorted. *)
+  Concilium_util.Bitset.iter
+    (fun peer ->
+      out.(!k) <- peer;
+      incr k)
+    seen;
   out
 
 let mean_routing_peer_count t =

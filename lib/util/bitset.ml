@@ -64,6 +64,55 @@ let inter_cardinal a b =
   done;
   !total
 
+(* Directional scans skip empty bytes, so over mostly-full sets (the alive
+   set of a ring universe) neighbour lookups are effectively O(1). *)
+
+let next_member t i =
+  if i >= t.capacity then -1
+  else begin
+    let i = max i 0 in
+    let first_byte = i lsr 3 in
+    let last_byte = Bytes.length t.words - 1 in
+    let result = ref (-1) in
+    let b = ref first_byte in
+    while !result < 0 && !b <= last_byte do
+      let byte = Char.code (Bytes.get t.words !b) in
+      let masked = if !b = first_byte then byte land (0xFF lsl (i land 7)) else byte in
+      if masked <> 0 then begin
+        let bit = ref 0 in
+        while masked land (1 lsl !bit) = 0 do incr bit done;
+        result := (!b lsl 3) + !bit
+      end;
+      incr b
+    done;
+    if !result >= t.capacity then -1 else !result
+  end
+
+let prev_member t i =
+  if i < 0 then -1
+  else begin
+    let i = min i (t.capacity - 1) in
+    if i < 0 then -1
+    else begin
+      let first_byte = i lsr 3 in
+      let result = ref (-1) in
+      let b = ref first_byte in
+      while !result < 0 && !b >= 0 do
+        let byte = Char.code (Bytes.get t.words !b) in
+        let masked =
+          if !b = first_byte then byte land (0xFF lsr (7 - (i land 7))) else byte
+        in
+        if masked <> 0 then begin
+          let bit = ref 7 in
+          while masked land (1 lsl !bit) = 0 do decr bit done;
+          result := (!b lsl 3) + !bit
+        end;
+        decr b
+      done;
+      !result
+    end
+  end
+
 let iter f t =
   for b = 0 to Bytes.length t.words - 1 do
     let byte = Char.code (Bytes.get t.words b) in

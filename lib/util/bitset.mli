@@ -25,6 +25,13 @@ val union_into : dst:t -> t -> unit
 val inter_cardinal : t -> t -> int
 (** Number of members shared by two equal-capacity sets. *)
 
+val next_member : t -> int -> int
+(** [next_member t i] is the smallest member [>= i], or [-1] when none.
+    Scans bytewise, so on dense sets the expected cost is O(1). *)
+
+val prev_member : t -> int -> int
+(** [prev_member t i] is the largest member [<= i], or [-1] when none. *)
+
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> int list

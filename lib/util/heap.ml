@@ -10,6 +10,17 @@ module Make (Elt : Ordered) = struct
   let create () = { data = [||]; size = 0 }
   let length t = t.size
   let is_empty t = t.size = 0
+  let capacity t = Array.length t.data
+
+  (* Backing-array compaction: once occupancy drops below a quarter the
+     array is halved, so a queue that peaked early in a long run does not
+     pin its high-water storage forever. Halving (not shrink-to-fit) keeps
+     the amortised cost of a pop O(1). *)
+  let shrink t =
+    let cap = Array.length t.data in
+    if t.size = 0 then t.data <- [||]
+    else if cap >= 32 && t.size <= cap / 4 then
+      t.data <- Array.sub t.data 0 (max 16 (cap / 2))
 
   let grow t x =
     let capacity = Array.length t.data in
@@ -58,8 +69,12 @@ module Make (Elt : Ordered) = struct
       t.size <- t.size - 1;
       if t.size > 0 then begin
         t.data.(0) <- t.data.(t.size);
+        (* Overwrite the vacated slot with a still-live element so the
+           popped value is not pinned past [size] by the backing array. *)
+        t.data.(t.size) <- t.data.(0);
         sift_down t 0
       end;
+      shrink t;
       Some min
     end
 
@@ -71,6 +86,32 @@ module Make (Elt : Ordered) = struct
   let clear t =
     t.data <- [||];
     t.size <- 0
+
+  (* Tombstone reclamation: drop every element failing [keep] in one O(n)
+     pass, then restore the heap shape bottom-up (Floyd heapify). Callers
+     that mark cancelled events with a tombstone flag use this to reclaim
+     their queue slots without draining the whole heap. *)
+  let filter_in_place t ~keep =
+    let kept = ref 0 in
+    for i = 0 to t.size - 1 do
+      if keep t.data.(i) then begin
+        t.data.(!kept) <- t.data.(i);
+        incr kept
+      end
+    done;
+    (* Release references to dropped elements beyond the new size. *)
+    if !kept > 0 then
+      for i = !kept to t.size - 1 do
+        t.data.(i) <- t.data.(!kept - 1)
+      done;
+    t.size <- !kept;
+    if !kept = 0 then t.data <- [||]
+    else begin
+      for i = (t.size / 2) - 1 downto 0 do
+        sift_down t i
+      done;
+      shrink t
+    end
 
   let to_sorted_list t =
     let copy = { data = Array.sub t.data 0 t.size; size = t.size } in

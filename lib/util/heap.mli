@@ -26,6 +26,14 @@ module Make (Elt : Ordered) : sig
 
   val clear : t -> unit
 
+  val capacity : t -> int
+  (** Current backing-array length; shrinks as elements are popped (halved
+      once occupancy falls below a quarter), bounding memory on long runs. *)
+
+  val filter_in_place : t -> keep:(Elt.t -> bool) -> unit
+  (** Drop every element for which [keep] is false and re-heapify, in O(n).
+      Used to reclaim tombstoned (cancelled) events without draining. *)
+
   val to_sorted_list : t -> Elt.t list
   (** Non-destructive ascending enumeration (costs a heap copy). *)
 end

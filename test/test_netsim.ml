@@ -323,6 +323,150 @@ let test_churn_mostly_online_default () =
   check Alcotest.bool (Printf.sprintf "mean online %.2f > 0.85" mean) true (mean > 0.85)
 
 
+(* ---------- epoch-bucketed link history vs the old list model ---------- *)
+
+(* The reference model the epoch rewrite must agree with: a bare list of
+   recorded (start, finish) intervals per link. *)
+let model_is_bad intervals time =
+  List.exists (fun (s, f) -> s <= time && time < f) intervals
+
+let model_merged intervals =
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare a b) intervals in
+  let rec merge = function
+    | (s1, f1) :: (s2, f2) :: rest when s2 <= f1 -> merge ((s1, Float.max f1 f2) :: rest)
+    | pair :: rest -> pair :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let arbitrary_intervals =
+  QCheck.(
+    small_list
+      (triple (int_bound 2) (float_bound_inclusive 500.) (float_bound_inclusive 90.)))
+
+let prop_link_history_matches_list_model =
+  QCheck.Test.make
+    ~name:"epoch-bucketed history = interval-list model (queries and merges)" ~count:300
+    QCheck.(pair arbitrary_intervals (small_list (float_bound_inclusive 600.)))
+    (fun (recorded, probes) ->
+      let history = Link_history.create_with ~epoch_length:50. ~link_count:3 in
+      let model = Array.make 3 [] in
+      List.iter
+        (fun (link, start, length) ->
+          Link_history.add_interval history ~link ~start ~finish:(start +. length);
+          if length > 0. then model.(link) <- (start, start +. length) :: model.(link))
+        recorded;
+      let queries_agree =
+        List.for_all
+          (fun time ->
+            let bad_links =
+              List.filter (fun l -> model_is_bad model.(l) time) [ 0; 1; 2 ]
+            in
+            Link_history.bad_links_at history ~time = bad_links
+            && List.for_all
+                 (fun link ->
+                   Link_history.is_bad_at history ~link ~time = model_is_bad model.(link) time)
+                 [ 0; 1; 2 ])
+          probes
+      in
+      let intervals_agree =
+        List.for_all
+          (fun link ->
+            Link_history.intervals history ~link = model_merged model.(link))
+          [ 0; 1; 2 ]
+      in
+      queries_agree && intervals_agree)
+
+let prop_link_history_memory_bounded =
+  QCheck.Test.make ~name:"expire_before frees old epochs; recent queries survive" ~count:200
+    arbitrary_intervals
+    (fun recorded ->
+      let history = Link_history.create_with ~epoch_length:50. ~link_count:3 in
+      List.iter
+        (fun (link, start, length) ->
+          Link_history.add_interval history ~link ~start ~finish:(start +. length))
+        recorded;
+      let before = Link_history.resident_pieces history in
+      let cutoff = 300. in
+      Link_history.expire_before history ~time:cutoff;
+      let after = Link_history.resident_pieces history in
+      (* Memory never grows, and queries at-or-after the cutoff still agree
+         with the list model (expiry only drops epochs strictly below the
+         cutoff's epoch). *)
+      let model = Array.make 3 [] in
+      List.iter
+        (fun (link, start, length) ->
+          if length > 0. then model.(link) <- (start, start +. length) :: model.(link))
+        recorded;
+      let recent_ok =
+        List.for_all
+          (fun time ->
+            List.for_all
+              (fun link ->
+                Link_history.is_bad_at history ~link ~time = model_is_bad model.(link) time)
+              [ 0; 1; 2 ])
+          [ 300.; 333.; 407.; 575. ]
+      in
+      after <= before && recent_ok)
+
+let test_link_history_expire_drops_pieces () =
+  let history = Link_history.create_with ~epoch_length:10. ~link_count:1 in
+  Link_history.add_interval history ~link:0 ~start:1. ~finish:4.;
+  Link_history.add_interval history ~link:0 ~start:12. ~finish:14.;
+  Link_history.add_interval history ~link:0 ~start:95. ~finish:99.;
+  check Alcotest.int "three pieces resident" 3 (Link_history.resident_pieces history);
+  Link_history.expire_before history ~time:20.;
+  check Alcotest.int "old epochs dropped" 1 (Link_history.resident_pieces history);
+  check Alcotest.bool "old instant forgotten" false
+    (Link_history.is_bad_at history ~link:0 ~time:2.);
+  check Alcotest.bool "recent instant kept" true
+    (Link_history.is_bad_at history ~link:0 ~time:96.)
+
+(* ---------- churn event stream ---------- *)
+
+let test_churn_events_stream_matches_transitions () =
+  let rng = Prng.of_seed 54L in
+  let churn = Churn.generate ~rng ~config:Churn.default_config ~hosts:25 ~duration:30_000. in
+  let events = Churn.events churn in
+  (* Chronological, ties by host. *)
+  Array.iteri
+    (fun i (time, host) ->
+      if i > 0 then begin
+        let pt, ph = events.(i - 1) in
+        check Alcotest.bool "ordered" true (pt < time || (pt = time && ph <= host))
+      end)
+    events;
+  check Alcotest.int "one event per toggle" (Churn.toggle_count churn) (Array.length events);
+  (* The stream replayed per host equals the per-host transition list, and
+     parity starts from the initial flag. *)
+  for host = 0 to 24 do
+    let mine = Array.to_list events |> List.filter (fun (_, h) -> h = host) in
+    let expected = Churn.transitions churn ~host in
+    check Alcotest.int "count" (List.length expected) (List.length mine);
+    List.iter2
+      (fun (t_stream, _) (t_trans, became) ->
+        check (Alcotest.float 1e-9) "time" t_trans t_stream;
+        (* Toggles alternate, so direction is derivable from the initial
+           state; just sanity-check the first one. *)
+        ignore became)
+      mine expected;
+    (match expected with
+    | (_, first_direction) :: _ ->
+        check Alcotest.bool "first toggle leaves the initial state"
+          (not (Churn.initially_online churn ~host))
+          first_direction
+    | [] -> ())
+  done
+
+let test_engine_capacity_shrinks () =
+  let engine = Engine.create () in
+  for i = 1 to 2048 do
+    Engine.schedule_at engine ~time:(float_of_int i) (fun _ -> ())
+  done;
+  let full = Engine.capacity engine in
+  Engine.run engine;
+  check Alcotest.bool "released event storage" true (Engine.capacity engine < full / 4)
+
 let prop_engine_fires_in_time_order =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"events fire in non-decreasing time order" ~count:100
@@ -356,6 +500,10 @@ let suites =
       [
         Alcotest.test_case "interval queries" `Quick test_history_queries;
         Alcotest.test_case "replay onto engine" `Quick test_history_replay;
+        Alcotest.test_case "expire_before drops old epochs" `Quick
+          test_link_history_expire_drops_pieces;
+        QCheck_alcotest.to_alcotest prop_link_history_matches_list_model;
+        QCheck_alcotest.to_alcotest prop_link_history_memory_bounded;
       ] );
     ( "netsim.failures",
       [
@@ -375,5 +523,9 @@ let suites =
           test_churn_transitions_chronological_and_alternating;
         Alcotest.test_case "default config mostly online" `Quick
           test_churn_mostly_online_default;
+        Alcotest.test_case "events stream matches transitions" `Quick
+          test_churn_events_stream_matches_transitions;
       ] );
+    ( "netsim.capacity",
+      [ Alcotest.test_case "engine storage shrinks" `Quick test_engine_capacity_shrinks ] );
   ]

@@ -666,6 +666,227 @@ let test_add_node_preserves_original () =
               b a)
        before after)
 
+(* ---------- Id helpers for the flat core ---------- *)
+
+let prop_midpoint_orders =
+  QCheck.Test.make ~name:"midpoint lies between its arguments" ~count:300
+    QCheck.(pair arbitrary_id arbitrary_id)
+    (fun (a, b) ->
+      let lo, hi = if Id.compare a b <= 0 then (a, b) else (b, a) in
+      let m = Id.midpoint lo hi in
+      Id.compare lo m <= 0 && Id.compare m hi <= 0)
+
+let prop_compare_substituted_agrees =
+  QCheck.Test.make ~name:"compare_substituted = compare of with_digit" ~count:300
+    QCheck.(quad arbitrary_id (int_bound 31) (int_bound 15) arbitrary_id)
+    (fun (a, index, digit, b) ->
+      Id.compare_substituted a ~index ~digit b = Id.compare (Id.with_digit a index digit) b)
+
+let prop_prefix_bounds_bracket =
+  QCheck.Test.make ~name:"prefix_bounds bracket exactly the shared-prefix ids" ~count:300
+    QCheck.(triple arbitrary_id (int_bound 32) arbitrary_id)
+    (fun (anchor, digits_shared, probe) ->
+      let lo, hi = Id.prefix_bounds anchor ~digits_shared in
+      let inside = Id.compare lo probe <= 0 && Id.compare probe hi <= 0 in
+      let shares = Id.shared_prefix_length anchor probe >= digits_shared in
+      (* shares prefix => inside the bounds, and the bounds themselves
+         share the prefix *)
+      ((not shares) || inside)
+      && Id.shared_prefix_length anchor lo >= digits_shared
+      && Id.shared_prefix_length anchor hi >= digits_shared)
+
+let test_id_floor_log2 () =
+  check Alcotest.int "zero" (-1) (Id.floor_log2 Id.zero);
+  check Alcotest.int "one" 0 (Id.floor_log2 (Id.of_hex "00000000000000000000000000000001"));
+  check Alcotest.int "top bit" 127 (Id.floor_log2 (Id.of_hex "80000000000000000000000000000000"));
+  check Alcotest.int "mixed" 68 (Id.floor_log2 (Id.of_hex "00000000000000130000000000000000"))
+
+(* ---------- Incremental secure tables vs the full-rebuild oracle ---------- *)
+
+module Ring = Concilium_overlay.Ring
+module Inc_table = Concilium_overlay.Inc_table
+module Flat_chord = Concilium_overlay.Flat_chord
+module Chaos = Concilium_netsim.Chaos
+
+let distinct_ids ~rng n =
+  let rec draw acc k =
+    if k = 0 then acc
+    else begin
+      let id = Id.random rng in
+      if List.exists (Id.equal id) acc then draw acc k else draw (id :: acc) (k - 1)
+    end
+  in
+  Array.of_list (draw [] n)
+
+let alive_pairs ring =
+  let acc = ref [] in
+  for i = Ring.size ring - 1 downto 0 do
+    if Ring.is_alive ring i then acc := (Ring.id ring i, i) :: !acc
+  done;
+  Array.of_list !acc
+
+(* Byte-equivalence of the maintained table against build_secure over the
+   current alive membership, for every owner (dead ones included) and every
+   slot — materialised rows and on-demand deep rows alike. *)
+let assert_tables_match tbl context =
+  let ring = Inc_table.ring tbl in
+  let sorted = alive_pairs ring in
+  for owner = 0 to Ring.size ring - 1 do
+    let oracle = Routing_table.build_secure ~owner:(Ring.id ring owner) ~sorted in
+    for row = 0 to Id.digits - 1 do
+      for col = 0 to Id.base - 1 do
+        let expect =
+          match Routing_table.get oracle ~row ~col with
+          | None -> -1
+          | Some e -> e.Routing_table.node
+        in
+        let got = Inc_table.entry tbl ~owner ~row ~col in
+        if got <> expect then
+          Alcotest.failf "%s: owner %d row %d col %d: oracle %d, incremental %d" context owner
+            row col expect got
+      done
+    done
+  done
+
+(* A churn schedule derived from the chaos DSL: sample a crash-only plan
+   and read each Node_crash as leave-at-start / rejoin-at-end. *)
+let chaos_churn_schedule ~seed ~nodes ~horizon =
+  let rng = Prng.of_seed seed in
+  let config = { Chaos.quiet with Chaos.crashes_per_hour = 60.; crash_mean_duration = 120. } in
+  let plan = Chaos.sample ~rng ~config ~links:[||] ~nodes ~cuts:[||] ~horizon in
+  let events =
+    List.concat_map
+      (fun fault ->
+        match fault with
+        | Chaos.Node_crash { node; start; duration } ->
+            [ (start, `Leave, node); (start +. duration, `Join, node) ]
+        | _ -> [])
+      plan
+  in
+  List.sort
+    (fun (ta, _, na) (tb, _, nb) ->
+      match Float.compare ta tb with 0 -> Int.compare na nb | c -> c)
+    events
+
+let prop_incremental_matches_oracle =
+  QCheck.Test.make ~name:"incremental table = rebuild oracle under chaos churn" ~count:8
+    QCheck.(pair (int_range 4 28) (int_bound 10_000))
+    (fun (n, seed) ->
+      let rng = Prng.of_seed (Int64.of_int (77 + seed)) in
+      let ring = Ring.of_ids (distinct_ids ~rng n) in
+      let tbl = Inc_table.build ring in
+      assert_tables_match tbl "initial build";
+      let schedule = chaos_churn_schedule ~seed:(Int64.of_int (13 + seed)) ~nodes:n ~horizon:900. in
+      let applied = ref 0 in
+      List.iter
+        (fun (_, kind, node) ->
+          let acted =
+            !applied < 24
+            &&
+            match kind with
+            | `Leave ->
+                if Ring.is_alive ring node && Ring.alive_count ring > 1 then begin
+                  ignore (Inc_table.apply_leave tbl node);
+                  true
+                end
+                else false
+            | `Join ->
+                if not (Ring.is_alive ring node) then begin
+                  ignore (Inc_table.apply_join tbl node);
+                  true
+                end
+                else false
+          in
+          if acted then begin
+            incr applied;
+            assert_tables_match tbl (Printf.sprintf "after event %d" !applied)
+          end)
+        schedule;
+      (* The materialised rows must also agree with the from-scratch path. *)
+      for owner = 0 to Ring.size ring - 1 do
+        let disagreed = Inc_table.rebuild_owner tbl owner in
+        if disagreed <> 0 then
+          Alcotest.failf "rebuild_owner %d found %d stale slots" owner disagreed
+      done;
+      !applied >= 0)
+
+(* ---------- Flat (universe-indexed) routing ---------- *)
+
+let prop_flat_pastry_routes_to_root =
+  QCheck.Test.make ~name:"flat pastry route delivers to the numerically closest node"
+    ~count:6
+    QCheck.(pair (int_bound 1000) (int_bound 1000))
+    (fun (seed, churn_seed) ->
+      let rng = Prng.of_seed (Int64.of_int (3000 + seed)) in
+      let n = 600 in
+      let ring = Ring.of_ids (distinct_ids ~rng n) in
+      let tbl = Inc_table.build ring in
+      (* Kill a handful of nodes through the incremental path first. *)
+      let churn_rng = Prng.of_seed (Int64.of_int (4000 + churn_seed)) in
+      for _ = 1 to 25 do
+        let v = Prng.int churn_rng n in
+        if Ring.is_alive ring v then ignore (Inc_table.apply_leave tbl v)
+      done;
+      let ok = ref 0 and total = 20 in
+      for _ = 1 to total do
+        let dest = Id.random rng in
+        let src = ref (Prng.int rng n) in
+        while not (Ring.is_alive ring !src) do
+          src := Prng.int rng n
+        done;
+        let root = Inc_table.numerically_closest tbl dest in
+        let final, hops, _ = Inc_table.route tbl ~leaf_half:8 ~src:!src ~dest in
+        if final = root && hops <= (2 * Id.digits) + 32 then incr ok
+      done;
+      !ok = total)
+
+let prop_flat_chord_routes_to_owner =
+  QCheck.Test.make ~name:"flat chord route reaches the key's owner in O(log n) hops" ~count:6
+    QCheck.(pair (int_bound 1000) (int_range 64 800))
+    (fun (seed, n) ->
+      let rng = Prng.of_seed (Int64.of_int (5000 + seed)) in
+      let ring = Ring.of_ids (distinct_ids ~rng n) in
+      (* Random dead minority. *)
+      for _ = 1 to n / 5 do
+        let v = Prng.int rng n in
+        if Ring.alive_count ring > 2 then Ring.set_dead ring v
+      done;
+      let chord = Flat_chord.create ring in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let dest = Id.random rng in
+        let src = ref (Prng.int rng n) in
+        while not (Ring.is_alive ring !src) do
+          src := Prng.int rng n
+        done;
+        let owner = Flat_chord.owner_of_key chord dest in
+        let final, hops, _ = Flat_chord.route chord ~src:!src ~dest in
+        if final <> owner || hops > 64 then ok := false
+      done;
+      !ok)
+
+(* ---------- Chord O(log n) forwarding vs the linear reference ---------- *)
+
+let prop_chord_next_hop_matches_reference =
+  QCheck.Test.make ~name:"chord next_hop = linear-scan reference" ~count:12
+    QCheck.(pair (int_bound 1000) (int_range 2 120))
+    (fun (seed, n) ->
+      let rng = Prng.of_seed (Int64.of_int (6000 + seed)) in
+      let ids = distinct_ids ~rng n in
+      let overlay = Chord.build ids in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let from = Prng.int rng n in
+        let dest =
+          (* Mix arbitrary keys with exact member ids (boundary cases). *)
+          if Prng.bool rng then Id.random rng else ids.(Prng.int rng n)
+        in
+        let fast = Chord.next_hop overlay ~from ~dest in
+        let slow = Chord.next_hop_reference overlay ~from ~dest in
+        if not (Option.equal Int.equal fast slow) then ok := false
+      done;
+      !ok)
+
 let suites =
   [
     ( "overlay.id",
@@ -748,5 +969,16 @@ let suites =
         Alcotest.test_case "standard fingers in interval" `Quick
           test_chord_standard_fingers_stay_in_interval;
         Alcotest.test_case "occupancy model vs MC" `Quick test_chord_occupancy_model_tracks_mc;
+        qtest prop_chord_next_hop_matches_reference;
+      ] );
+    ( "overlay.flat",
+      [
+        qtest prop_midpoint_orders;
+        qtest prop_compare_substituted_agrees;
+        qtest prop_prefix_bounds_bracket;
+        Alcotest.test_case "floor_log2" `Quick test_id_floor_log2;
+        qtest prop_incremental_matches_oracle;
+        qtest prop_flat_pastry_routes_to_root;
+        qtest prop_flat_chord_routes_to_owner;
       ] );
   ]

@@ -1,0 +1,103 @@
+module Scale_world = Concilium_scale.Scale_world
+module Ring = Concilium_overlay.Ring
+module Inc_table = Concilium_overlay.Inc_table
+module Pool = Concilium_util.Pool
+
+let check = Alcotest.check
+
+let build ?(nodes = 400) ?(seed = 42L) protocol =
+  Scale_world.build (Scale_world.config ~protocol ~nodes ~seed ())
+
+(* Everything in a scale world is deterministic in (config, seed), and the
+   episode fan-out must be bit-identical for every domain count: the CI
+   scale-smoke job diffs --domains 1 vs 2 transcripts byte-for-byte. *)
+let transcript protocol ~domains =
+  let world = build protocol in
+  let buf = Buffer.create 1024 in
+  let line s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let with_pool f =
+    if domains = 1 then f None
+    else begin
+      let pool = Pool.create ~domains () in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f (Some pool))
+    end
+  in
+  with_pool (fun pool ->
+      line (Scale_world.header_line world);
+      for episode = 1 to 3 do
+        let stepped = ref 0 in
+        while !stepped < 40 && Scale_world.step_event world do
+          incr stepped
+        done;
+        line (Scale_world.state_line world);
+        let result = Scale_world.run_episode ?pool world ~episode ~routes:50 in
+        line (Scale_world.episode_line ~episode result)
+      done;
+      line (Scale_world.maintenance_line world));
+  Buffer.contents buf
+
+let test_transcript_domain_invariant () =
+  List.iter
+    (fun protocol ->
+      let d1 = transcript protocol ~domains:1 in
+      let d2 = transcript protocol ~domains:2 in
+      check Alcotest.string
+        (Scale_world.protocol_name protocol ^ " transcript is domain-invariant")
+        d1 d2;
+      (* And re-running with the same seed reproduces it exactly. *)
+      check Alcotest.string "rerun reproduces" d1 (transcript protocol ~domains:1))
+    [ Scale_world.Pastry; Scale_world.Chord ]
+
+let test_routes_deliver_under_churn () =
+  let world = build Scale_world.Pastry in
+  let applied = Scale_world.advance_to world 1800. in
+  check Alcotest.bool "churn happened" true (applied > 0);
+  let result = Scale_world.run_episode world ~episode:1 ~routes:100 in
+  check Alcotest.int "every route reaches the key's root" 100
+    result.Scale_world.delivered;
+  (* The maintained tables still agree with from-scratch recomputation. *)
+  (match Scale_world.table world with
+  | Some table ->
+      let ring = Scale_world.ring world in
+      for owner = 0 to Ring.size ring - 1 do
+        check Alcotest.int "no stale slots" 0 (Inc_table.rebuild_owner table owner)
+      done
+  | None -> Alcotest.fail "pastry world has a table");
+  let chord_world = build Scale_world.Chord in
+  ignore (Scale_world.advance_to chord_world 1800.);
+  let chord_result = Scale_world.run_episode chord_world ~episode:1 ~routes:100 in
+  check Alcotest.int "chord routes reach the owner" 100 chord_result.Scale_world.delivered
+
+let test_event_accounting () =
+  let world = build ~nodes:300 Scale_world.Pastry in
+  let total = Scale_world.events_total world in
+  let stepped = ref 0 in
+  while Scale_world.step_event world do
+    incr stepped
+  done;
+  check Alcotest.int "every event consumed" total !stepped;
+  check Alcotest.int "applied + skipped = consumed" total
+    (Scale_world.events_applied world + Scale_world.events_skipped world);
+  check Alcotest.int "none pending" 0 (Scale_world.events_pending world);
+  check Alcotest.bool "clock advanced" true (Scale_world.clock world > 0.)
+
+let test_config_validation () =
+  Alcotest.check_raises "one node rejected"
+    (Invalid_argument "Scale_world.config: need at least two nodes") (fun () ->
+      ignore (Scale_world.config ~protocol:Scale_world.Pastry ~nodes:1 ~seed:1L ()))
+
+let suites =
+  [
+    ( "scale.world",
+      [
+        Alcotest.test_case "transcripts domain-invariant and reproducible" `Quick
+          test_transcript_domain_invariant;
+        Alcotest.test_case "delivery and table consistency under churn" `Quick
+          test_routes_deliver_under_churn;
+        Alcotest.test_case "event accounting" `Quick test_event_accounting;
+        Alcotest.test_case "config validation" `Quick test_config_validation;
+      ] );
+  ]

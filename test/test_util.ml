@@ -148,6 +148,36 @@ let prop_heap_sorts =
       drain ();
       List.rev !drained = List.sort Int.compare list)
 
+let test_heap_capacity_shrinks () =
+  let h = Int_heap.create () in
+  for i = 1 to 4096 do
+    Int_heap.add h i
+  done;
+  let full = Int_heap.capacity h in
+  check Alcotest.bool "grew" true (full >= 4096);
+  for _ = 1 to 4000 do
+    ignore (Int_heap.pop_min h)
+  done;
+  check Alcotest.bool "shrank after draining"
+    true
+    (Int_heap.capacity h < full / 4);
+  (* Draining completely releases the backing array. *)
+  for _ = 1 to 96 do
+    ignore (Int_heap.pop_min h)
+  done;
+  check Alcotest.int "empty heap holds nothing" 0 (Int_heap.capacity h)
+
+let prop_heap_filter_in_place =
+  QCheck.Test.make ~name:"filter_in_place keeps exactly the survivors, sorted" ~count:200
+    QCheck.(pair (list int) (int_bound 7))
+    (fun (list, modulus) ->
+      let keep x = x mod (modulus + 2) <> 0 in
+      let h = Int_heap.create () in
+      List.iter (Int_heap.add h) list;
+      Int_heap.filter_in_place h ~keep;
+      let expected = List.sort Int.compare (List.filter keep list) in
+      Int_heap.to_sorted_list h = expected)
+
 (* ---------- Bitset ---------- *)
 
 let test_bitset_basic () =
@@ -182,6 +212,20 @@ let prop_bitset_matches_list_set =
       let s = Bitset.of_list 64 members in
       Bitset.to_list s = List.sort_uniq Int.compare members
       && Bitset.cardinal s = List.length (List.sort_uniq Int.compare members))
+
+let prop_bitset_directional_scans =
+  QCheck.Test.make ~name:"next_member/prev_member match linear scans" ~count:300
+    QCheck.(pair (small_list (int_bound 99)) (int_bound 99))
+    (fun (members, i) ->
+      let s = Bitset.of_list 100 members in
+      let next_ref =
+        let rec scan j = if j > 99 then -1 else if Bitset.mem s j then j else scan (j + 1) in
+        scan i
+      and prev_ref =
+        let rec scan j = if j < 0 then -1 else if Bitset.mem s j then j else scan (j - 1) in
+        scan i
+      in
+      Bitset.next_member s i = next_ref && Bitset.prev_member s i = prev_ref)
 
 (* ---------- Fenwick ---------- *)
 
@@ -448,7 +492,9 @@ let suites =
       [
         Alcotest.test_case "basic operations" `Quick test_heap_basic;
         Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+        Alcotest.test_case "capacity shrinks" `Quick test_heap_capacity_shrinks;
         qtest prop_heap_sorts;
+        qtest prop_heap_filter_in_place;
       ] );
     ( "util.bitset",
       [
@@ -456,6 +502,7 @@ let suites =
         Alcotest.test_case "union and intersection" `Quick test_bitset_union_inter;
         Alcotest.test_case "bounds checking" `Quick test_bitset_out_of_range;
         qtest prop_bitset_matches_list_set;
+        qtest prop_bitset_directional_scans;
       ] );
     ( "util.fenwick",
       [
