@@ -1,15 +1,21 @@
-(* Seeded chaos soak runner: execute a matrix of fault scenarios over the
-   full protocol runtime and check machine-readable invariants --
+(* Seeded chaos soak runner: execute a matrix of fault and adversary
+   scenarios over the full protocol runtime and check machine-readable
+   invariants --
 
      - no scenario raises an uncaught exception;
      - every message produces an outcome before the engine drains;
      - every undelivered message ends in a stewardship resolution or an
        explicit Insufficient_evidence degradation;
-     - honest nodes incur zero formal accusations.
+     - honest nodes incur zero formal accusations;
+     - detection scenarios additionally assert their adversary both acted
+       and was caught (see Concilium_adversary.Soak_invariants).
 
-   The transcript (stdout) is deterministic JSON: scenario plans are
-   sampled from pre-split PRNGs before any parallel fan-out, so the bytes
-   are identical for any --domains value. CI diffs --domains 1 vs 2. *)
+   The transcript (stdout) is deterministic JSON: scenario plans (faults
+   and adversary campaigns alike) are sampled from pre-split PRNGs before
+   any parallel fan-out, so the bytes are identical for any --domains
+   value. CI diffs --domains 1 vs 2, and additionally re-runs detection
+   scenarios with one defense disabled (--disable-defense NAME
+   --expect-failure): a canary run that passes anyway fails the job. *)
 
 module World = Concilium_core.World
 module Protocol = Concilium_core.Protocol
@@ -27,6 +33,19 @@ module Pool = Concilium_util.Pool
 module Collector = Concilium_obs.Collector
 module Trace = Concilium_obs.Trace
 module Export = Concilium_obs.Export
+module Validation = Concilium_core.Validation
+module Strategy = Concilium_adversary.Strategy
+module Soak = Concilium_adversary.Soak_invariants
+
+type adversary_spec =
+  | No_adversary
+  | Sampled of Chaos.adversary_config
+      (* background pressure: campaigns drawn uniformly; no detection
+         assertion since a sampled coalition may never touch a route *)
+  | Targeted_collusion of { size : int; drop_probability : float; corroboration : float }
+  | Targeted_lying of { size : int; corroboration : float }
+  | Targeted_eclipse of { size : int }
+  | Targeted_biased of { size : int; keep_fraction : float }
 
 type scenario = {
   name : string;
@@ -36,6 +55,8 @@ type scenario = {
   churn : bool;
   messages : int;
   duration : float;
+  adversary : adversary_spec;
+  require_detection : bool;
 }
 
 let base ~name ~chaos =
@@ -47,6 +68,8 @@ let base ~name ~chaos =
     churn = false;
     messages = 30;
     duration = 3600.;
+    adversary = No_adversary;
+    require_detection = false;
   }
 
 let small_matrix =
@@ -98,6 +121,48 @@ let small_matrix =
     };
   ]
 
+(* Detection scenarios: each aims a compiled strategy at a concrete route
+   and asserts the runtime's defenses catch (or withstand) it. The three
+   single-knob canaries in CI re-run these with --disable-defense:
+     collusion      <-> suspect-exclusion (Section 3.4 self-exculpation)
+     collusion      <-> vote-dedup (forged-ballot stuffing)
+     biased-join    <-> density-validation (Section 3.1 occupancy test)
+   lying-reporter asserts framing never sticks with defenses on. *)
+let adversarial_matrix =
+  [
+    {
+      (base ~name:"collusion" ~chaos:Chaos.quiet) with
+      adversary =
+        Targeted_collusion { size = 3; drop_probability = 1.0; corroboration = 1.0 };
+      require_detection = true;
+      messages = 40;
+    };
+    {
+      (base ~name:"lying-reporter" ~chaos:Chaos.quiet) with
+      adversary = Targeted_lying { size = 3; corroboration = 1.0 };
+      require_detection = true;
+      messages = 40;
+    };
+    {
+      (base ~name:"eclipse" ~chaos:Chaos.quiet) with
+      adversary = Targeted_eclipse { size = 3 };
+      require_detection = true;
+      messages = 40;
+    };
+    {
+      (base ~name:"biased-join" ~chaos:Chaos.quiet) with
+      adversary = Targeted_biased { size = 3; keep_fraction = 0.4 };
+      require_detection = true;
+    };
+    {
+      (base ~name:"adversary-pressure"
+         ~chaos:
+           { Chaos.quiet with Chaos.link_flaps_per_hour = 4.; flap_mean_duration = 120. })
+      with
+      adversary = Sampled Chaos.default_adversary_config;
+    };
+  ]
+
 let full_matrix =
   small_matrix
   @ [
@@ -111,6 +176,22 @@ let full_matrix =
         duration = 5400.;
       };
     ]
+  @ adversarial_matrix
+
+(* ---------- Defense toggles ---------- *)
+
+type defense = Suspect_exclusion | Vote_dedup | Density_validation
+
+let defense_name = function
+  | Suspect_exclusion -> "suspect-exclusion"
+  | Vote_dedup -> "vote-dedup"
+  | Density_validation -> "density-validation"
+
+let apply_disabled config = function
+  | None -> config
+  | Some Suspect_exclusion -> { config with Protocol.exclude_suspect_probes = false }
+  | Some Vote_dedup -> { config with Protocol.one_vote_per_prober = false }
+  | Some Density_validation -> { config with Protocol.validation_gamma_jump = infinity }
 
 (* ---------- One scenario run ---------- *)
 
@@ -127,10 +208,26 @@ type tally = {
   mutable flagged_no_commitment : int;
 }
 
+type adversary_tally = {
+  mutable forced_drops : int;
+  mutable lies : int;
+  mutable route_rewrites : int;
+  mutable advert_rewrites : int;
+  mutable forged_reports : int;
+  mutable adversary_blamed : int;  (* episodes settling on a compromised node *)
+  mutable victim_blamed : int;  (* episodes settling on a framing/eclipse victim *)
+  mutable compromised_accusations : int;  (* durable accusations naming colluders *)
+  mutable advert_flagged : int;  (* failed validations naming a biased sampler *)
+}
+
 type run_result = {
   scenario : scenario;
   faults : (string * int) list;
+  adversaries : (string * int) list;
   tally : tally;
+  adv : adversary_tally;
+  adversary_present : bool;
+  adversary_detected : bool;
   honest_accusations : int;
   dht_failover_times : float list;
       (* engine times at which a DHT put succeeded by failing over past a
@@ -157,7 +254,50 @@ let build_cuts world =
   let cut = Chaos.cut_of_paths ~paths:(List.rev !paths) in
   if Array.length cut = 0 then [||] else [| cut |]
 
-let run_scenario ~seed ~index ~rng ~obs scenario =
+let mask_of_nodes node_count nodes =
+  let mask = Array.make node_count false in
+  Array.iter (fun v -> if v >= 0 && v < node_count then mask.(v) <- true) nodes;
+  mask
+
+(* Counting wrappers around the compiled strategy's taps: the per-scenario
+   action counters feed both the transcript and the adversary-inert
+   invariant, without reaching into the shared metrics registry. *)
+let counting_taps base adv =
+  {
+    Protocol.tap_route =
+      (fun ~time ~from ~dest route ->
+        match base.Protocol.tap_route ~time ~from ~dest route with
+        | Some _ as rewritten ->
+            adv.route_rewrites <- adv.route_rewrites + 1;
+            rewritten
+        | None -> None);
+    tap_forward =
+      (fun ~time ~node ~sender ~next ->
+        match base.Protocol.tap_forward ~time ~node ~sender ~next with
+        | Some Protocol.Tap_drop as forced ->
+            adv.forced_drops <- adv.forced_drops + 1;
+            forced
+        | other -> other);
+    tap_observation =
+      (fun ~time ~prober ~link ~up ->
+        let reported = base.Protocol.tap_observation ~time ~prober ~link ~up in
+        if reported <> up then adv.lies <- adv.lies + 1;
+        reported);
+    tap_advertised_peers =
+      (fun ~time ~node peers ->
+        match base.Protocol.tap_advertised_peers ~time ~node peers with
+        | Some _ as rewritten ->
+            adv.advert_rewrites <- adv.advert_rewrites + 1;
+            rewritten
+        | None -> None);
+    tap_forged_reports =
+      (fun ~time ~prober ->
+        let forged = base.Protocol.tap_forged_reports ~time ~prober in
+        adv.forged_reports <- adv.forged_reports + List.length forged;
+        forged);
+  }
+
+let run_scenario ~seed ~index ~rng ~obs ~disable scenario =
   let tally =
     {
       delivered = 0;
@@ -170,6 +310,19 @@ let run_scenario ~seed ~index ~rng ~obs scenario =
       unresolved = 0;
       missing = 0;
       flagged_no_commitment = 0;
+    }
+  in
+  let adv =
+    {
+      forced_drops = 0;
+      lies = 0;
+      route_rewrites = 0;
+      advert_rewrites = 0;
+      forged_reports = 0;
+      adversary_blamed = 0;
+      victim_blamed = 0;
+      compromised_accusations = 0;
+      advert_flagged = 0;
     }
   in
   try
@@ -187,6 +340,101 @@ let run_scenario ~seed ~index ~rng ~obs scenario =
         ~links:(Array.init link_count Fun.id) ~nodes:node_count ~cuts:(build_cuts world)
         ~horizon:scenario.duration
     in
+    (* Adversary campaigns: either sampled like faults, or aimed at a
+       concrete route so detection is deterministic. Campaign windows
+       cover the whole run including the judgment flush. *)
+    let adv_rng = Prng.split rng in
+    let strategy_rng = Prng.split rng in
+    let campaign = scenario.duration +. 900. in
+    let adversary_plan, framed_links, targeted, sampler_keep =
+      match scenario.adversary with
+      | No_adversary -> ([], [||], None, None)
+      | Sampled config ->
+          ( Chaos.sample_adversaries ~rng:adv_rng ~config ~nodes:node_count
+              ~peers_of:(fun v -> world.World.peers.(v))
+              ~horizon:scenario.duration (),
+            [||],
+            None,
+            None )
+      | Targeted_collusion { size; drop_probability; corroboration } -> (
+          (* Prefer a route that serves both collusion canaries: a
+             self-exculpation gap (a dropper egress link only the dropper
+             can vouch for to the judge) flips the suspect-exclusion
+             canary, and enough covering helpers make forged-ballot
+             stuffing decisive for the vote-dedup canary. *)
+          let rec pick trials best best_score =
+            if trials = 0 then best
+            else begin
+              match Strategy.targeted_route ~world ~rng:adv_rng ~min_hops:3 with
+              | None -> best
+              | Some (from, dest, route) ->
+                  let gap = Strategy.self_exculpation_gap ~world ~route in
+                  let coverage = Strategy.coalition_coverage ~world ~route in
+                  let score =
+                    (if gap then 100 else 0) + min coverage (2 * (size - 1))
+                  in
+                  if gap && coverage >= size - 1 then Some (from, dest, route)
+                  else if score > best_score then
+                    pick (trials - 1) (Some (from, dest, route)) score
+                  else pick (trials - 1) best best_score
+            end
+          in
+          match pick 48 None (-1) with
+          | None -> ([], [||], None, None)
+          | Some (from, dest, route) -> (
+              match
+                Strategy.collusion_against_route ~world ~route ~size ~drop_probability
+                  ~corroboration ~start:0. ~duration:campaign
+              with
+              | None -> ([], [||], None, None)
+              | Some adversary -> ([ adversary ], [||], Some (from, dest), None)))
+      | Targeted_lying { size; corroboration } -> (
+          match Strategy.targeted_route ~world ~rng:adv_rng ~min_hops:3 with
+          | None -> ([], [||], None, None)
+          | Some (from, dest, route) -> (
+              match
+                Strategy.lying_against_route ~world ~route ~size ~corroboration ~start:0.
+                  ~duration:campaign
+              with
+              | None -> ([], [||], None, None)
+              | Some (adversary, egress) -> ([ adversary ], egress, Some (from, dest), None)))
+      | Targeted_eclipse { size } -> (
+          match Strategy.targeted_route ~world ~rng:adv_rng ~min_hops:3 with
+          | None -> ([], [||], None, None)
+          | Some (from, dest, route) -> (
+              match
+                Strategy.eclipse_against_route ~world ~route ~size ~start:0.
+                  ~duration:campaign
+              with
+              | None -> ([], [||], None, None)
+              | Some adversary -> ([ adversary ], [||], Some (from, dest), None)))
+      | Targeted_biased { size; keep_fraction } ->
+          let favored = Prng.int adv_rng node_count in
+          let picks =
+            Prng.sample_without_replacement adv_rng
+              (min size (node_count - 1))
+              (node_count - 1)
+          in
+          let samplers = Array.map (fun v -> if v >= favored then v + 1 else v) picks in
+          ( [ Chaos.Biased_sampling { samplers; favored; start = 0.; duration = campaign } ],
+            [||],
+            None,
+            Some keep_fraction )
+    in
+    (* The framing scenario faults the victim's egress for the whole run:
+       the network genuinely drops on the victim's watch, and the liars
+       work to pin those drops on the victim itself. *)
+    let plan =
+      if Array.length framed_links = 0 then plan
+      else
+        plan
+        @ [ Chaos.Burst_loss { links = framed_links; start = 60.; duration = scenario.duration } ]
+    in
+    let strategy = Strategy.compile ~world ~rng:strategy_rng ~forge_copies:6 adversary_plan in
+    let taps = counting_taps (Strategy.taps strategy) adv in
+    let compromised_mask = mask_of_nodes node_count (Strategy.compromised strategy) in
+    let victim_mask = mask_of_nodes node_count (Strategy.victims strategy) in
+    let sampler_mask = mask_of_nodes node_count (Strategy.biased_samplers strategy) in
     (* The Dht exists only after Protocol.create; Replica_loss events fire
        later, during the engine run, so a forward reference suffices. *)
     let dht_ref = ref None in
@@ -216,17 +464,28 @@ let run_scenario ~seed ~index ~rng ~obs scenario =
     let is_dropper = Array.make node_count false in
     Array.iter (fun v -> is_dropper.(v) <- true) dropper_picks;
     let behavior v =
-      if is_dropper.(v) then Protocol.Message_dropper scenario.drop_probability
+      if sampler_mask.(v) then
+        Protocol.Sparse_advertiser (match sampler_keep with Some k -> k | None -> 0.4)
+      else if is_dropper.(v) then Protocol.Message_dropper scenario.drop_probability
       else Protocol.Honest
     in
+    let config = apply_disabled Protocol.default_config disable in
     let protocol =
       Protocol.create ~world ~engine ~link_state ~rng:(Prng.split rng) ~availability
         ~control_latency:(fun ~time -> Chaos.control_latency chaos ~time)
         ~put_copies:(fun ~time -> Chaos.put_copies chaos ~time)
-        ~obs Protocol.default_config ~behavior
+        ~obs ~taps config ~behavior
     in
     dht_ref := Some (Protocol.dht protocol);
     Protocol.start_probing protocol ~horizon:scenario.duration;
+    (* The biased-join detection vector is the Section 3.1 routing-state
+       exchange: schedule one mid-run, while the campaign is live. *)
+    let advert_reports = ref [] in
+    (match scenario.adversary with
+    | Targeted_biased _ ->
+        Engine.schedule_at engine ~time:(0.5 *. scenario.duration) (fun _ ->
+            advert_reports := Protocol.exchange_advertisements protocol @ !advert_reports)
+    | _ -> ());
     let outcomes = Array.make scenario.messages None in
     let message_rng = Prng.split rng in
     let warm = 0.1 *. scenario.duration in
@@ -234,8 +493,11 @@ let run_scenario ~seed ~index ~rng ~obs scenario =
     for i = 0 to scenario.messages - 1 do
       let at = warm +. (span *. float_of_int i /. float_of_int (max 1 scenario.messages)) in
       Engine.schedule_at engine ~time:at (fun _ ->
-          let from = Prng.int message_rng node_count in
-          let dest = Id.random message_rng in
+          let from, dest =
+            match targeted with
+            | Some (from, dest) -> (from, dest)
+            | None -> (Prng.int message_rng node_count, Id.random message_rng)
+          in
           Protocol.send_message protocol ~from ~dest ~payload:"soak"
             ~on_outcome:(fun outcome -> outcomes.(i) <- Some outcome))
     done;
@@ -257,8 +519,12 @@ let run_scenario ~seed ~index ~rng ~obs scenario =
               | Some (Protocol.Insufficient_evidence _) -> tally.degraded <- tally.degraded + 1
               | Some (Protocol.Diagnosed resolution) -> (
                   match resolution.Stewardship.final with
-                  | Some (Stewardship.Next_hop _) ->
-                      tally.diagnosed_node <- tally.diagnosed_node + 1
+                  | Some (Stewardship.Next_hop v) ->
+                      tally.diagnosed_node <- tally.diagnosed_node + 1;
+                      if v >= 0 && v < node_count && compromised_mask.(v) then
+                        adv.adversary_blamed <- adv.adversary_blamed + 1;
+                      if v >= 0 && v < node_count && victim_mask.(v) then
+                        adv.victim_blamed <- adv.victim_blamed + 1
                   | Some Stewardship.Network ->
                       tally.diagnosed_network <- tally.diagnosed_network + 1
                   | Some (Stewardship.Offline _) ->
@@ -266,12 +532,32 @@ let run_scenario ~seed ~index ~rng ~obs scenario =
                   | None -> tally.diagnosed_none <- tally.diagnosed_none + 1)
             end)
       outcomes;
-    (* Formal accusations naming honest nodes: read every replica (ignoring
-       availability -- the records are durable) and count. *)
+    List.iter
+      (fun report ->
+        (* Only the Section 3.1 density (jump-table occupancy) test counts:
+           that is the check --disable-defense density-validation turns
+           off, so its canary must go dark without it. *)
+        if
+          report.Protocol.advertiser >= 0
+          && report.Protocol.advertiser < node_count
+          && sampler_mask.(report.Protocol.advertiser)
+          && List.exists
+               (fun failure ->
+                 match failure with
+                 | Validation.Sparse_jump_table _ -> true
+                 | _ -> false)
+               report.Protocol.failures
+        then adv.advert_flagged <- adv.advert_flagged + 1)
+      !advert_reports;
+    (* Formal accusations: read every replica (ignoring availability -- the
+       records are durable). Accusations naming honest nodes are an
+       invariant violation; accusations naming compromised nodes are the
+       collusion/eclipse detection signal. Framing and eclipse victims are
+       honest nodes. *)
     let honest_accusations = ref 0 in
     let dht = Protocol.dht protocol in
     for v = 0 to node_count - 1 do
-      if not is_dropper.(v) then begin
+      if not (is_dropper.(v) || compromised_mask.(v)) then begin
         let hops = ref 0 in
         let named =
           Dht.get dht ~from:0 ~accused_key:(World.public_key_of world v) ~hops ()
@@ -279,11 +565,40 @@ let run_scenario ~seed ~index ~rng ~obs scenario =
         honest_accusations :=
           !honest_accusations + List.length named.Dht.accusations
       end
+      else if compromised_mask.(v) then begin
+        let hops = ref 0 in
+        let named =
+          Dht.get dht ~from:0 ~accused_key:(World.public_key_of world v) ~hops ()
+        in
+        adv.compromised_accusations <-
+          adv.compromised_accusations + List.length named.Dht.accusations
+      end
     done;
+    let adversary_detected =
+      match scenario.adversary with
+      | No_adversary -> false
+      | Sampled _ -> true (* background pressure: no detection criterion *)
+      | Targeted_collusion _ ->
+          (* Episode-level blame alone is too weak a bar: one stray episode
+             pinned on a colluder while the rest are shielded would still
+             "detect". Require the durable enforcement artifact — a formal
+             accusation filed against a coalition member. *)
+          adv.compromised_accusations > 0
+      | Targeted_eclipse _ -> adv.adversary_blamed > 0 || adv.compromised_accusations > 0
+      | Targeted_lying _ ->
+          (* The defense "detects" the campaign by withstanding it: framed
+             episodes existed and none settled on the victim. *)
+          tally.diagnosed_network > 0 && adv.victim_blamed = 0
+      | Targeted_biased _ -> adv.advert_flagged > 0
+    in
     {
       scenario;
       faults = Chaos.fault_counts plan;
+      adversaries = Chaos.adversary_counts adversary_plan;
       tally;
+      adv;
+      adversary_present = adversary_plan <> [];
+      adversary_detected;
       honest_accusations = !honest_accusations;
       dht_failover_times =
         List.map fst (Trace.instants obs.Collector.trace ~name:"dht.put.failover");
@@ -293,7 +608,11 @@ let run_scenario ~seed ~index ~rng ~obs scenario =
     {
       scenario;
       faults = [];
+      adversaries = [];
       tally;
+      adv;
+      adversary_present = false;
+      adversary_detected = false;
       honest_accusations = 0;
       dht_failover_times = [];
       failure = Some (Printexc.to_string e);
@@ -301,13 +620,31 @@ let run_scenario ~seed ~index ~rng ~obs scenario =
 
 (* ---------- Transcript ---------- *)
 
-let scenario_passed r =
-  r.failure = None && r.tally.missing = 0 && r.tally.unresolved = 0
-  && r.honest_accusations = 0
+let adversary_fired adv =
+  adv.forced_drops > 0 || adv.lies > 0 || adv.route_rewrites > 0 || adv.advert_rewrites > 0
+  || adv.forged_reports > 0
 
-let emit_json buf ~matrix ~seed results =
+let invariant_inputs r =
+  {
+    Soak.failure = r.failure;
+    missing_outcomes = r.tally.missing;
+    unresolved = r.tally.unresolved;
+    honest_accusations = r.honest_accusations;
+    adversary_present = r.adversary_present;
+    adversary_fired = adversary_fired r.adv;
+    adversary_detected = r.adversary_detected;
+    require_detection = r.scenario.require_detection;
+  }
+
+let scenario_passed r = Soak.pass (invariant_inputs r)
+
+let emit_json buf ~matrix ~seed ~disable ~expect_failure results =
   let add fmt = Printf.bprintf buf fmt in
-  add "{\n  \"matrix\": %S,\n  \"seed\": %Ld,\n  \"scenarios\": [\n" matrix seed;
+  add "{\n  \"matrix\": %S,\n  \"seed\": %Ld,\n" matrix seed;
+  (match disable with
+  | None -> add "  \"disabled_defense\": null,\n"
+  | Some d -> add "  \"disabled_defense\": %S,\n" (defense_name d));
+  add "  \"expect_failure\": %b,\n  \"scenarios\": [\n" expect_failure;
   List.iteri
     (fun i r ->
       let t = r.tally in
@@ -317,6 +654,12 @@ let emit_json buf ~matrix ~seed results =
         (fun j (family, count) ->
           add "%s\"%s\": %d" (if j = 0 then "" else ", ") family count)
         r.faults;
+      add "},\n";
+      add "      \"adversaries\": {";
+      List.iteri
+        (fun j (family, count) ->
+          add "%s\"%s\": %d" (if j = 0 then "" else ", ") family count)
+        r.adversaries;
       add "},\n";
       add "      \"sent\": %d,\n" r.scenario.messages;
       add "      \"delivered\": %d,\n" t.delivered;
@@ -330,6 +673,18 @@ let emit_json buf ~matrix ~seed results =
       add "      \"unresolved\": %d,\n" t.unresolved;
       add "      \"missing_outcomes\": %d,\n" t.missing;
       add "      \"honest_accusations\": %d,\n" r.honest_accusations;
+      add "      \"adversary\": {";
+      add "\"forced_drops\": %d, " r.adv.forced_drops;
+      add "\"lies\": %d, " r.adv.lies;
+      add "\"route_rewrites\": %d, " r.adv.route_rewrites;
+      add "\"advert_rewrites\": %d, " r.adv.advert_rewrites;
+      add "\"forged_reports\": %d, " r.adv.forged_reports;
+      add "\"adversary_blamed\": %d, " r.adv.adversary_blamed;
+      add "\"victim_blamed\": %d, " r.adv.victim_blamed;
+      add "\"compromised_accusations\": %d, " r.adv.compromised_accusations;
+      add "\"advert_flagged\": %d, " r.adv.advert_flagged;
+      add "\"fired\": %b, " (adversary_fired r.adv);
+      add "\"detected\": %b},\n" r.adversary_detected;
       add "      \"dht_failover_times\": [";
       List.iteri
         (fun j time -> add "%s%.6f" (if j = 0 then "" else ", ") time)
@@ -338,18 +693,24 @@ let emit_json buf ~matrix ~seed results =
       (match r.failure with
       | None -> add "      \"exception\": null,\n"
       | Some msg -> add "      \"exception\": %S,\n" msg);
+      add "      \"invariant_failures\": [";
+      List.iteri
+        (fun j label -> add "%s%S" (if j = 0 then "" else ", ") label)
+        (Soak.failures (invariant_inputs r));
+      add "],\n";
       add "      \"pass\": %b\n" (scenario_passed r);
       add "    }%s\n" (if i = List.length results - 1 then "" else ","))
     results;
   add "  ],\n  \"pass\": %b\n}\n" (List.for_all scenario_passed results)
 
-let run matrix seed domains trace_out metrics_out trace_filter =
+let run matrix seed domains trace_out metrics_out trace_filter disable expect_failure =
   let scenarios =
     match matrix with
     | "small" -> small_matrix
+    | "adversarial" -> adversarial_matrix
     | "full" -> full_matrix
     | other ->
-        Printf.eprintf "unknown matrix %S (expected small or full)\n" other;
+        Printf.eprintf "unknown matrix %S (expected small, adversarial or full)\n" other;
         exit 2
   in
   (* Pre-split every scenario's PRNG — and pre-allocate its observability
@@ -364,7 +725,7 @@ let run matrix seed domains trace_out metrics_out trace_filter =
   let results =
     Pool.with_pool ?domains (fun pool ->
         Pool.parallel_map ~pool indexed ~f:(fun (i, s) ->
-            run_scenario ~seed ~index:i ~rng:rngs.(i) ~obs:collectors.(i) s))
+            run_scenario ~seed ~index:i ~rng:rngs.(i) ~obs:collectors.(i) ~disable s))
   in
   let results = Array.to_list results in
   if trace_out <> None || metrics_out <> None then begin
@@ -376,25 +737,33 @@ let run matrix seed domains trace_out metrics_out trace_filter =
     Option.iter (fun path -> Export.write_metrics ~path merged.Collector.metrics) metrics_out
   end;
   let buf = Buffer.create 4096 in
-  emit_json buf ~matrix ~seed results;
+  emit_json buf ~matrix ~seed ~disable ~expect_failure results;
   print_string (Buffer.contents buf);
   List.iter
     (fun r ->
-      Printf.eprintf "scenario %-16s %s\n" r.scenario.name
+      Printf.eprintf "scenario %-18s %s\n" r.scenario.name
         (if scenario_passed r then "ok"
          else
-           Printf.sprintf "FAILED (missing=%d unresolved=%d honest_accusations=%d%s)"
-             r.tally.missing r.tally.unresolved r.honest_accusations
-             (match r.failure with None -> "" | Some m -> " exception=" ^ m)))
+           Printf.sprintf "FAILED (%s)"
+             (String.concat ", " (Soak.failures (invariant_inputs r)))))
     results;
-  if List.for_all scenario_passed results then 0 else 1
+  let pass_all = List.for_all scenario_passed results in
+  if expect_failure then
+    if pass_all then begin
+      Printf.eprintf
+        "expected at least one scenario to fail (canary for disabled defense), but all passed\n";
+      1
+    end
+    else 0
+  else Soak.exit_code ~pass_all
 
 open Cmdliner
 
 let matrix =
   Arg.(
     value & opt string "small"
-    & info [ "matrix" ] ~docv:"MATRIX" ~doc:"Scenario matrix: small (CI) or full.")
+    & info [ "matrix" ] ~docv:"MATRIX"
+        ~doc:"Scenario matrix: small (CI), adversarial (detection scenarios), or full.")
 
 let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Deterministic seed.")
 
@@ -428,9 +797,38 @@ let trace_filter =
     & info [ "trace-filter" ] ~docv:"CATS"
         ~doc:"Keep only trace records in these comma-separated categories (e.g. chaos,episode).")
 
+let disable_defense =
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [
+                ("suspect-exclusion", Suspect_exclusion);
+                ("vote-dedup", Vote_dedup);
+                ("density-validation", Density_validation);
+              ]))
+        None
+    & info [ "disable-defense" ] ~docv:"NAME"
+        ~doc:
+          "Disable one runtime defense (suspect-exclusion, vote-dedup, or \
+           density-validation) before running the matrix. CI pairs this with \
+           $(b,--expect-failure) as a canary: with the defense off, the matching \
+           detection scenario must fail.")
+
+let expect_failure =
+  Arg.(
+    value & flag
+    & info [ "expect-failure" ]
+        ~doc:
+          "Invert the exit status: succeed only if at least one scenario fails its \
+           invariants. Guards disabled-defense canaries against passing vacuously.")
+
 let cmd =
   let doc = "Chaos soak: run fault scenarios against the protocol runtime, check invariants" in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ matrix $ seed $ domains $ trace_out $ metrics_out $ trace_filter)
+    Term.(
+      const run $ matrix $ seed $ domains $ trace_out $ metrics_out $ trace_filter
+      $ disable_defense $ expect_failure)
 
 let () = exit (Cmd.eval' cmd)

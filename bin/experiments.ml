@@ -114,6 +114,15 @@ let run_baselines ~pool ~world ~scale ~seed =
   in
   E.Output.emit (E.Baselines.table (E.Baselines.run ~pool bw ~samples))
 
+let run_collusion ~pool ~world ~scale ~seed =
+  let samples = match scale with Small -> 8_000 | Paper -> 20_000 in
+  let result = E.Collusion_curves.run ~pool ~world ~samples ~bins:25 ~seed () in
+  E.Output.emit (E.Collusion_curves.table result);
+  Printf.printf "zero-adversary rows match honest baseline exactly: %b\n"
+    (E.Collusion_curves.zero_adversary_consistent result);
+  Printf.printf "false blame monotone in coalition size: %b\n%!"
+    (E.Collusion_curves.false_blame_monotone result)
+
 let run_secure_routing ~pool ~scale ~seed =
   let overlay_size, trials =
     match scale with Small -> (300, 300) | Paper -> (1000, 600)
@@ -135,7 +144,7 @@ let run_chord ~pool ~scale ~seed =
        ~colluding_fractions:[| 0.05; 0.1; 0.2; 0.3 |] ())
 
 let needs_world = function
-  | "fig4" | "fig5" | "fig6" | "all" | "ablations" | "baselines" -> true
+  | "fig4" | "fig5" | "fig6" | "all" | "ablations" | "baselines" | "collusion" -> true
   | _ -> false
 
 let run_experiment name scale seed tsv domains trace_out metrics_out trace_filter =
@@ -187,6 +196,7 @@ let run_experiment name scale seed tsv domains trace_out metrics_out trace_filte
       | "bandwidth" -> phase "bandwidth" (fun () -> run_bandwidth ~pool ())
       | "ablations" -> phase "ablations" (fun () -> run_ablations ~pool ~world:(world ()) ~scale ~seed)
       | "baselines" -> phase "baselines" (fun () -> run_baselines ~pool ~world:(world ()) ~scale ~seed)
+      | "collusion" -> phase "collusion" (fun () -> run_collusion ~pool ~world:(world ()) ~scale ~seed)
       | "chord" -> phase "chord" (fun () -> run_chord ~pool ~scale ~seed)
       | "secure-routing" -> phase "secure-routing" (fun () -> run_secure_routing ~pool ~scale ~seed)
       | "all" ->
@@ -201,6 +211,7 @@ let run_experiment name scale seed tsv domains trace_out metrics_out trace_filte
           phase "bandwidth" (fun () -> run_bandwidth ~pool ());
           phase "baselines" (fun () -> run_baselines ~pool ~world:(world ()) ~scale ~seed);
           phase "ablations" (fun () -> run_ablations ~pool ~world:(world ()) ~scale ~seed);
+          phase "collusion" (fun () -> run_collusion ~pool ~world:(world ()) ~scale ~seed);
           phase "chord" (fun () -> run_chord ~pool ~scale ~seed);
           phase "secure-routing" (fun () -> run_secure_routing ~pool ~scale ~seed)
       | other -> Printf.eprintf "unknown experiment %S\n" other);
@@ -216,8 +227,8 @@ open Cmdliner
 
 let experiment =
   let doc =
-    "Experiment to run: fig1 fig2 fig3 fig4 fig5 fig6 bandwidth baselines ablations chord \
-     secure-routing all."
+    "Experiment to run: fig1 fig2 fig3 fig4 fig5 fig6 bandwidth baselines ablations collusion \
+     chord secure-routing all."
   in
   Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT" ~doc)
 

@@ -1,0 +1,42 @@
+(** The chaos-soak pass/fail predicate, factored out of [bin/chaos.exe] so
+    the exit-status contract is unit-testable: a scenario passes only when
+    it raised nothing, produced every outcome, resolved (or explicitly
+    degraded) every drop, accused no honest node, and — when it is a
+    detection scenario — its adversary both acted and was caught. Any
+    failure makes the soak binary exit non-zero, so the CI job cannot pass
+    vacuously. *)
+
+type inputs = {
+  failure : string option;  (** uncaught exception text, if any *)
+  missing_outcomes : int;  (** messages that produced no outcome at all *)
+  unresolved : int;  (** undelivered messages with no diagnosis *)
+  honest_accusations : int;  (** formal accusations naming honest nodes *)
+  adversary_present : bool;  (** the scenario's adversary plan is non-empty *)
+  adversary_fired : bool;
+      (** adversary taps observably acted (drops forced, lies told, routes
+          rewritten, adverts biased) *)
+  adversary_detected : bool;
+      (** the scenario's detection criterion held (e.g. a colluder was
+          blamed, the framing victim was not, a biased advertiser was
+          flagged) *)
+  require_detection : bool;
+      (** assert fired-and-detected; off for background-pressure scenarios
+          whose sampled campaigns may never touch a message route *)
+}
+
+val benign : inputs
+(** All-clear baseline: no failure, no violations, no adversary. Build
+    concrete inputs with [{ benign with ... }]. *)
+
+val failures : inputs -> string list
+(** Every violated invariant, in a fixed order, as stable labels:
+    ["runtime-exception"], ["missing-outcomes"], ["unresolved-episodes"],
+    ["honest-node-accused"], ["adversary-inert"],
+    ["adversary-undetected"]. Empty means the scenario passed.
+    [adversary-inert] fires when a detection scenario's adversary never
+    acted — a canary must not pass because its attack failed to launch. *)
+
+val pass : inputs -> bool
+
+val exit_code : pass_all:bool -> int
+(** 0 when every scenario passed, 1 otherwise. *)

@@ -119,6 +119,119 @@ let ops_of_fault rng ~nodes fault =
         );
       ]
 
+(* Adversary campaigns map onto the same op vocabulary: the lockstep model
+   does not simulate lying probers, but the *state traffic* an adversary
+   induces — contradictory verdicts crowding one window, accusation puts
+   against a framed victim, replica loss around an eclipsed node, read
+   storms from biased samplers — must leave model and runtime in agreement.
+   The conformance checker therefore consumes adversary-bearing schedules
+   with no special cases. *)
+let ops_of_adversary rng ~nodes adversary =
+  let wrap v = ((v mod nodes) + nodes) mod nodes in
+  match adversary with
+  | Chaos.Collusion { members; corroboration; start; duration; _ } ->
+      (* Each colluder's window fills with a guilty verdict (the judge's
+         own evidence) chased by a corroborated innocent one (the
+         coalition's shield), and the coalition's target gets a formal
+         accusation put; the campaign's end expires the evidence. *)
+      let shielded = wrap members.(0) in
+      Array.to_list members
+      |> List.concat_map (fun m ->
+             let m = wrap m in
+             let at = start +. Prng.float rng (Float.max duration 1.) in
+             let guilty =
+               (at, fresh_verdict rng ~win:m ~at)
+             in
+             let shield =
+               if Prng.bernoulli rng corroboration then
+                 [
+                   ( at +. 0.5,
+                     Concrete
+                       (Win_record
+                          { win = m; guilty = false; blame = 0.1; drop_time = at +. 0.5 }) );
+                 ]
+               else []
+             in
+             let put =
+               ( at +. 1.,
+                 Concrete
+                   (Dht_put
+                      {
+                        from_node = m;
+                        accuser = m;
+                        accused = shielded;
+                        drop_time = at +. 1.;
+                        copies = 1;
+                      }) )
+             in
+             (guilty :: shield) @ [ put ])
+      |> fun ops -> ops @ [ (start +. duration, Expire_at { win = shielded; at = start +. duration }) ]
+  | Chaos.Lying_reporters { reporters; victim; corroboration; start; duration } ->
+      (* Framing votes crowd the victim's window; the victim archives its
+         own exculpatory evidence and defends once the campaign ends. *)
+      let victim = wrap victim in
+      let frames =
+        Array.to_list reporters
+        |> List.concat_map (fun r ->
+               let r = wrap r in
+               let at = start +. Prng.float rng (Float.max duration 1.) in
+               let vote =
+                 ( at,
+                   Concrete
+                     (Win_record
+                        {
+                          win = victim;
+                          guilty = true;
+                          blame = 0.5 +. Prng.float rng 0.5;
+                          drop_time = at;
+                        }) )
+               in
+               if Prng.bernoulli rng corroboration then
+                 [
+                   vote;
+                   ( at +. 0.5,
+                     Concrete
+                       (Dht_put
+                          {
+                            from_node = r;
+                            accuser = r;
+                            accused = victim;
+                            drop_time = at +. 0.5;
+                            copies = 1;
+                          }) );
+                 ]
+               else [ vote ])
+      in
+      frames
+      @ [
+          (start, Concrete (Arch_record { owner = victim; accused = victim; drop_time = start }));
+          (start +. duration, Defend_at { owner = victim; at = start +. duration });
+        ]
+  | Chaos.Eclipse { attackers; victim; start; duration } ->
+      (* Isolating a node looks like replica loss bracketed by churn, with
+         the attackers hammering reads to map the victim's state. *)
+      let victim = wrap victim in
+      let storms =
+        Array.to_list attackers
+        |> List.map (fun a ->
+               let at = start +. Prng.float rng (Float.max duration 1.) in
+               (at, Concrete (Dht_get { from_node = wrap a; accused = victim })))
+      in
+      [
+        (start, Concrete (Dht_crash { node = victim }));
+        (start +. (0.5 *. duration), Concrete (Dht_drop_replica { node = victim }));
+        (start +. duration, Concrete (Dht_revive { node = victim }));
+      ]
+      @ storms
+  | Chaos.Biased_sampling { samplers; favored; start; duration } ->
+      (* Biased samplers over-read the favored node's records. *)
+      Array.to_list samplers
+      |> List.concat_map (fun s ->
+             let s = wrap s in
+             List.init 3 (fun i ->
+                 let at = start +. (float_of_int (i + 1) /. 4. *. Float.max duration 1.) in
+                 (at, Concrete (Dht_get { from_node = s; accused = wrap favored }))))
+
 (* Second pass: walk the timed stream in order, tracking what each window
    and archive holds, and resolve the symbolic operations. Half the
    expiries land exactly on a recorded drop time (the inclusive-keep
@@ -171,7 +284,12 @@ let generate ~seed =
       ~links:(Array.init 40 (fun i -> i))
       ~nodes ~cuts:[| [| 0; 1; 2 |]; [| 10; 11 |] |] ~horizon
   in
+  let adversary_plan =
+    Chaos.sample_adversaries ~rng:(Prng.split rng) ~config:Chaos.default_adversary_config
+      ~nodes ~horizon ()
+  in
   let from_faults = List.concat_map (ops_of_fault rng ~nodes) plan in
+  let from_adversaries = List.concat_map (ops_of_adversary rng ~nodes) adversary_plan in
   let baseline =
     List.concat_map
       (fun tick ->
@@ -180,7 +298,9 @@ let generate ~seed =
       (List.init (int_of_float (horizon /. 60.)) (fun i -> i))
   in
   let timed =
-    List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) (baseline @ from_faults)
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (baseline @ from_faults @ from_adversaries)
   in
   let ops = resolve rng ~nodes (List.map snd timed) in
   { seed; nodes; window_size; m; replication; ops }

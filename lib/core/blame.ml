@@ -25,8 +25,21 @@ let confidence_of_votes config votes =
   let down_votes = List.length votes - up_votes in
   link_bad_confidence ~accuracy:config.accuracy ~up_votes ~down_votes
 
+let dedup_votes votes =
+  (* One vote per prober, the prober's latest in the list winning (votes
+     arrive oldest-first from [Observation.on_link]). The in-place update
+     keeps each prober at its first-occurrence position, so the result is
+     independent of any hash order. *)
+  let rec update acc prober up =
+    match acc with
+    | [] -> [ (prober, up) ]
+    | (p, _) :: rest when p = prober -> (p, up) :: rest
+    | pair :: rest -> pair :: update rest prober up
+  in
+  List.fold_left (fun acc (prober, up) -> update acc prober up) [] votes
+
 let path_bad_confidence config ~observations ~links ~drop_time ~exclude_prober
-    ?(visible = fun _ -> true) () =
+    ?(visible = fun _ -> true) ?(one_vote_per_prober = false) () =
   check_config config;
   let lo = drop_time -. config.delta and hi = drop_time +. config.delta in
   Array.fold_left
@@ -39,11 +52,15 @@ let path_bad_confidence config ~observations ~links ~drop_time ~exclude_prober
             else Some (obs.Observation.prober, obs.Observation.up))
           (Observation.on_link observations ~link ~lo ~hi)
       in
+      let votes = if one_vote_per_prober then dedup_votes votes else votes in
       if votes = [] then best else max best (confidence_of_votes config votes))
     0. links
 
-let blame config ~observations ~links ~drop_time ~exclude_prober ?(visible = fun _ -> true) () =
-  1. -. path_bad_confidence config ~observations ~links ~drop_time ~exclude_prober ~visible ()
+let blame config ~observations ~links ~drop_time ~exclude_prober ?(visible = fun _ -> true)
+    ?(one_vote_per_prober = false) () =
+  1.
+  -. path_bad_confidence config ~observations ~links ~drop_time ~exclude_prober ~visible
+       ~one_vote_per_prober ()
 
 let blame_of_observations config ~grouped =
   check_config config;

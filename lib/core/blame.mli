@@ -27,6 +27,13 @@ val link_bad_confidence : accuracy:float -> up_votes:int -> down_votes:int -> fl
 (** The inner average of Equation 3 for one link: each "up" probe
     contributes (1 - a), each "down" probe contributes a. *)
 
+val dedup_votes : (int * bool) list -> (int * bool) list
+(** One vote per prober: each prober keeps its latest vote in the list
+    (votes are oldest-first as produced by [Observation.on_link]), at its
+    first-occurrence position. This is the ballot-stuffing defense — a
+    compromised prober that floods duplicate corroborating reports into a
+    judgment window collapses back to a single voice. *)
+
 val path_bad_confidence :
   config ->
   observations:Observation.t ->
@@ -34,6 +41,7 @@ val path_bad_confidence :
   drop_time:float ->
   exclude_prober:int ->
   ?visible:(int -> bool) ->
+  ?one_vote_per_prober:bool ->
   unit ->
   float
 (** Equation 3 over a full path: the fuzzy OR (max) across links of the
@@ -41,7 +49,9 @@ val path_bad_confidence :
     skipped; if no link has any result the confidence is 0 (nothing
     suggests the network failed, so the forwarder absorbs the blame).
     [visible] restricts the probers whose snapshots the judge actually
-    holds (default: everyone); the judged node is excluded regardless. *)
+    holds (default: everyone); the judged node is excluded regardless.
+    [one_vote_per_prober] (default false) applies {!dedup_votes} per link
+    before averaging. *)
 
 val blame :
   config ->
@@ -50,6 +60,7 @@ val blame :
   drop_time:float ->
   exclude_prober:int ->
   ?visible:(int -> bool) ->
+  ?one_vote_per_prober:bool ->
   unit ->
   float
 (** Equation 2: 1 - {!path_bad_confidence}. *)

@@ -38,6 +38,9 @@ type config = {
   retry_base_delay : float;
   retry_backoff : float;
   evidence_ttl : float;
+  exclude_suspect_probes : bool;
+  one_vote_per_prober : bool;
+  validation_gamma_jump : float;
 }
 
 let default_config =
@@ -55,6 +58,50 @@ let default_config =
     retry_base_delay = 1.;
     retry_backoff = 2.;
     evidence_ttl = Float.infinity;
+    exclude_suspect_probes = true;
+    one_vote_per_prober = true;
+    validation_gamma_jump = 1.3;
+  }
+
+(* ---------- Adversary tap points ----------
+
+   Taps are the seams where a strategy layer (Concilium_adversary) lets
+   compromised nodes intercept or forge protocol messages. Every tap is a
+   pure function of its arguments plus whatever state the strategy carries;
+   determinism rules: a tap may draw randomness only from its own pre-split
+   PRNG, never from the runtime's. A firing tap may change how much of the
+   runtime PRNG stream the overridden honest code would have consumed
+   (e.g. a forced drop skips a Message_dropper's Bernoulli draw) — a
+   scenario is reproducible per (seed, taps), not across tap configs. *)
+
+type forward_decision = Tap_forward | Tap_drop
+
+type taps = {
+  tap_route : time:float -> from:int -> dest:Id.t -> int list -> int list option;
+      (* eclipse joins: rewrite the overlay route before the first attempt;
+         [None] leaves it untouched *)
+  tap_forward : time:float -> node:int -> sender:int -> next:int -> forward_decision option;
+      (* colluding forwarders: override [node]'s forwarding decision;
+         [None] defers to its configured behavior *)
+  tap_observation : time:float -> prober:int -> link:int -> up:bool -> bool;
+      (* lying reporters: transform the up/down bit a compromised prober
+         records (and later advertises/archives) for a link *)
+  tap_advertised_peers : time:float -> node:int -> int array -> int array option;
+      (* biased peer sampling: rewrite the peer set a node advertises in
+         its routing-state snapshot *)
+  tap_forged_reports : time:float -> prober:int -> (int * bool) list;
+      (* ballot stuffing: extra (link, up) observations a compromised
+         prober injects after each lightweight round, mutually
+         corroborating its coalition's story *)
+}
+
+let no_taps =
+  {
+    tap_route = (fun ~time:_ ~from:_ ~dest:_ _ -> None);
+    tap_forward = (fun ~time:_ ~node:_ ~sender:_ ~next:_ -> None);
+    tap_observation = (fun ~time:_ ~prober:_ ~link:_ ~up -> up);
+    tap_advertised_peers = (fun ~time:_ ~node:_ _ -> None);
+    tap_forged_reports = (fun ~time:_ ~prober:_ -> []);
   }
 
 type diagnosis =
@@ -84,6 +131,7 @@ type t = {
   rng : Prng.t;
   config : config;
   behavior : int -> behavior;
+  taps : taps;
   availability : time:float -> int -> bool;
   control_latency : time:float -> float;
   put_copies : time:float -> int;
@@ -99,7 +147,7 @@ type t = {
 
 let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> true)
     ?(control_latency = fun ~time:_ -> 0.) ?(put_copies = fun ~time:_ -> 1) ?(obs = Obs.noop)
-    config ~behavior =
+    ?(taps = no_taps) config ~behavior =
   (* Queue-depth sampling rides the engine's passive push hook: installed
      only for a recording collector, so the uninstrumented engine keeps its
      single-branch cost. *)
@@ -113,6 +161,7 @@ let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> tru
     rng;
     config;
     behavior;
+    taps;
     availability;
     control_latency;
     put_copies;
@@ -169,8 +218,10 @@ let run_probe_round t v =
         let up = if flip then not up else up in
         Array.iter
           (fun link ->
+            let reported = t.taps.tap_observation ~time:now ~prober:v ~link ~up in
+            if reported <> up then Metrics.incr t.obs.Obs.metrics "adversary.lies";
             Observation.record t.observations
-              { Observation.time = now; prober = v; link; up })
+              { Observation.time = now; prober = v; link; up = reported })
           (Logical_tree.chain logical node)
       in
       match verdict with
@@ -178,6 +229,17 @@ let run_probe_round t v =
       | Probing.Probed_down -> record false
       | Probing.Indeterminate -> ())
     verdicts;
+  (* Forged corroboration rides the same round: a compromised prober may
+     stuff extra reports into the window. Free for the attacker — forged
+     votes are fabricated locally, not probed, so no bandwidth is charged. *)
+  (match t.taps.tap_forged_reports ~time:now ~prober:v with
+  | [] -> ()
+  | forged ->
+      Metrics.incr t.obs.Obs.metrics ~by:(List.length forged) "adversary.forged_reports";
+      List.iter
+        (fun (link, up) ->
+          Observation.record t.observations { Observation.time = now; prober = v; link; up })
+        forged);
   (* Bandwidth accounting (Section 4.4): the probe stripe itself, plus the
      snapshot advertisement to every routing peer — the full table on first
      exchange, a diff of changed path summaries after. *)
@@ -290,8 +352,10 @@ let run_heavyweight_burst t v ~stamp ~parent =
           let up = if flip then not up else up in
           Array.iter
             (fun link ->
+              let reported = t.taps.tap_observation ~time:stamp ~prober:v ~link ~up in
+              if reported <> up then Metrics.incr t.obs.Obs.metrics "adversary.lies";
               Observation.record t.observations
-                { Observation.time = stamp; prober = v; link; up })
+                { Observation.time = stamp; prober = v; link; up = reported })
             (Logical_tree.chain logical node)
         end
       done
@@ -313,7 +377,13 @@ type advertisement_report = {
 let build_advertisement t v =
   let now = Engine.now t.engine in
   let pastry_node = Pastry.node t.world.World.pastry v in
-  let peers = t.world.World.peers.(v) in
+  let peers =
+    match t.taps.tap_advertised_peers ~time:now ~node:v t.world.World.peers.(v) with
+    | None -> t.world.World.peers.(v)
+    | Some rewritten ->
+        Metrics.incr t.obs.Obs.metrics "adversary.advert_rewrites";
+        rewritten
+  in
   let keep_fraction =
     match t.behavior v with Sparse_advertiser f -> f | _ -> 1.
   in
@@ -383,7 +453,10 @@ let exchange_advertisements t =
             in
             let failures =
               Validation.check t.world.World.pki ~now
-                { Validation.default_config with Validation.gamma_jump = 1.3 }
+                {
+                  Validation.default_config with
+                  Validation.gamma_jump = t.config.validation_gamma_jump;
+                }
                 ~local advertisement
             in
             if failures <> [] then
@@ -439,6 +512,20 @@ let window_for t ~judge ~suspect =
 let visible_to t judge prober =
   prober = judge || Array.exists (( = ) prober) t.world.World.peers.(judge)
 
+(* Mirror of [Blame.dedup_votes] over raw observations: one observation per
+   prober, the prober's latest winning, first-occurrence positions
+   preserved. The archived evidence must count exactly the votes the
+   verdict counted, or [Accusation.make]'s recomputation would diverge
+   from the judge's own arithmetic. *)
+let dedup_observations obs_list =
+  let rec update acc obs =
+    match acc with
+    | [] -> [ obs ]
+    | o :: rest when o.Observation.prober = obs.Observation.prober -> obs :: rest
+    | o :: rest -> o :: update rest obs
+  in
+  List.fold_left update [] obs_list
+
 (* Collect the signed per-link votes a judge can present as evidence: the
    window-relevant observations of its own forest, re-signed here as they
    would appear inside the provers' archived snapshots. *)
@@ -448,18 +535,26 @@ let gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment =
   let link_votes =
     Array.to_list links
     |> List.filter_map (fun link ->
-           let votes =
-             List.filter_map
+           let usable =
+             List.filter
                (fun obs ->
                  let prober = obs.Observation.prober in
-                 if prober = suspect || not (visible_to t judge prober) then None
-                 else
-                   Some
-                     (Accusation.make_vote ~prober:(World.id_of t.world prober)
-                        ~secret:t.world.World.secrets.(prober)
-                        ~public:(World.public_key_of t.world prober)
-                        ~link ~time:obs.Observation.time ~up:obs.Observation.up))
+                 (not (t.config.exclude_suspect_probes && prober = suspect))
+                 && visible_to t judge prober)
                (Observation.on_link t.observations ~link ~lo ~hi)
+           in
+           let usable =
+             if t.config.one_vote_per_prober then dedup_observations usable else usable
+           in
+           let votes =
+             List.map
+               (fun obs ->
+                 let prober = obs.Observation.prober in
+                 Accusation.make_vote ~prober:(World.id_of t.world prober)
+                   ~secret:t.world.World.secrets.(prober)
+                   ~public:(World.public_key_of t.world prober)
+                   ~link ~time:obs.Observation.time ~up:obs.Observation.up)
+               usable
            in
            if votes = [] then None else Some { Accusation.link; votes })
   in
@@ -471,9 +566,14 @@ let gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment =
    reaches the judge's books instead of silently accruing guilt against an
    honest forwarder. *)
 let evaluate_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
+  (* The Section 3.4 self-exculpation defense: the suspect's own probe
+     reports never count towards its own judgment. [-1] never matches a
+     real prober, so the defense-off soak canary can observe the attack. *)
+  let exclude = if t.config.exclude_suspect_probes then suspect else -1 in
   let blame =
     Blame.blame t.config.blame ~observations:t.observations ~links ~drop_time
-      ~exclude_prober:suspect ~visible:(visible_to t judge) ()
+      ~exclude_prober:exclude ~visible:(visible_to t judge)
+      ~one_vote_per_prober:t.config.one_vote_per_prober ()
   in
   let verdict = Blame.verdict_of_blame t.config.blame blame in
   Log.debug (fun m ->
@@ -629,6 +729,13 @@ let send_message t ~from ~dest ~payload ~on_outcome =
   let metrics = t.obs.Obs.metrics in
   let message_id = fresh_message_id t ~from ~dest in
   let route = World.overlay_route t.world ~from ~dest in
+  let route =
+    match t.taps.tap_route ~time:(Engine.now t.engine) ~from ~dest route with
+    | None -> route
+    | Some rewritten ->
+        Metrics.incr metrics "adversary.route_rewrites";
+        rewritten
+  in
   let hops = Array.of_list route in
   let hop_count = Array.length hops in
   Metrics.incr metrics "msg.sent";
@@ -674,10 +781,16 @@ let send_message t ~from ~dest ~payload ~on_outcome =
       let a_forwards =
         i = 0
         ||
-        match t.behavior a with
-        | Message_dropper p -> not (Prng.bernoulli t.rng p)
-        | Silent_dropper -> false
-        | Honest | Probe_flipper | Commitment_refuser | Sparse_advertiser _ -> true
+        match t.taps.tap_forward ~time:now ~node:a ~sender:from ~next:b with
+        | Some Tap_drop ->
+            Metrics.incr metrics "adversary.forced_drops";
+            false
+        | Some Tap_forward -> true
+        | None -> (
+            match t.behavior a with
+            | Message_dropper p -> not (Prng.bernoulli t.rng p)
+            | Silent_dropper -> false
+            | Honest | Probe_flipper | Commitment_refuser | Sparse_advertiser _ -> true)
       in
       if not a_forwards then begin
         fates.(i) <- { (fates.(i)) with forwarded = false };
@@ -840,10 +953,12 @@ let send_message t ~from ~dest ~payload ~on_outcome =
                       | Some path -> path.Routes.links
                       | None -> [||]
                     in
+                    let exclude = if t.config.exclude_suspect_probes then b else -1 in
                     let confidence =
                       Blame.path_bad_confidence t.config.blame ~observations:t.observations
-                        ~links ~drop_time ~exclude_prober:b
-                        ~visible:(visible_to t a) ()
+                        ~links ~drop_time ~exclude_prober:exclude
+                        ~visible:(visible_to t a)
+                        ~one_vote_per_prober:t.config.one_vote_per_prober ()
                     in
                     if confidence >= 1. -. t.config.blame.Blame.guilt_threshold then
                       Hashtbl.replace judgments a
@@ -958,9 +1073,23 @@ let send_message t ~from ~dest ~payload ~on_outcome =
             in
             record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time ~episode)
           (List.rev !pending);
+        (* The blame.* family splits diagnosis outcomes so degraded episodes
+           (insufficient evidence: nobody judged, nobody cleared) are never
+           conflated with correct acquittals (the network or an offline hop
+           took the blame after actual judgment). Collusion-accuracy curves
+           need exactly this distinction. *)
         (match diagnosis with
-        | Diagnosed _ -> Metrics.incr metrics "episode.diagnosed"
-        | Insufficient_evidence _ -> Metrics.incr metrics "episode.insufficient_evidence");
+        | Diagnosed resolution -> begin
+            Metrics.incr metrics "episode.diagnosed";
+            match resolution.Stewardship.final with
+            | Some (Stewardship.Next_hop _) -> Metrics.incr metrics "blame.node_blamed"
+            | Some Stewardship.Network -> Metrics.incr metrics "blame.network_attributed"
+            | Some (Stewardship.Offline _) -> Metrics.incr metrics "blame.offline_suspect"
+            | None -> Metrics.incr metrics "blame.no_target"
+          end
+        | Insufficient_evidence _ ->
+            Metrics.incr metrics "episode.insufficient_evidence";
+            Metrics.incr metrics "blame.insufficient_evidence");
         Trace.span_close trace ~time:jt
           ~args:
             [

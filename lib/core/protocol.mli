@@ -52,6 +52,19 @@ type config = {
   evidence_ttl : float;
       (** window entries whose evidence is older than this are expired
           before accusation checks; [infinity] disables *)
+  exclude_suspect_probes : bool;
+      (** the Section 3.4 defense: a suspect's own probe reports never
+          count towards its own judgment or evidence. Default [true];
+          adversarial soaks disable it to demonstrate self-exculpation *)
+  one_vote_per_prober : bool;
+      (** the ballot-stuffing defense: per link, each prober's latest
+          in-window observation is its only vote ({!Blame.dedup_votes}),
+          applied identically to verdicts and archived evidence. Default
+          [true]; disabling lets forged duplicate reports stack *)
+  validation_gamma_jump : float;
+      (** jump-table density slack used when validating routing-state
+          advertisements (Section 3.1); [infinity] disables the density
+          test, letting sparse or biased advertisers pass *)
 }
 
 val default_config : config
@@ -59,7 +72,48 @@ val default_config : config
     max_probe_time=120 s, 4 replicas, 50 heavyweight rounds at a 30%%
     loss threshold; plus runtime hardening defaults: 2 retransmits at
     1 s/2x backoff, probe backoff capped at 4x, 10-round burst floor, no
-    evidence TTL. *)
+    evidence TTL; all three anti-gaming defenses on
+    ([exclude_suspect_probes], [one_vote_per_prober], gamma_jump 1.3). *)
+
+type forward_decision = Tap_forward | Tap_drop
+
+type taps = {
+  tap_route : time:float -> from:int -> dest:Id.t -> int list -> int list option;
+      (** called once per message with the overlay route the sender
+          computed; [Some route'] substitutes it (eclipse-style joins wedge
+          attackers in front of a victim). The rewritten route must keep
+          consecutive hops IP-reachable or the message dies as an overlay
+          drop at the unreachable hop. *)
+  tap_forward : time:float -> node:int -> sender:int -> next:int -> forward_decision option;
+      (** called at every forwarding decision of [node] (never the
+          sender); [Some Tap_drop] eats the message, [Some Tap_forward]
+          forces forwarding, [None] defers to [node]'s behavior *)
+  tap_observation : time:float -> prober:int -> link:int -> up:bool -> bool;
+      (** transforms the up/down bit [prober] records for [link] — both
+          lightweight rounds and heavyweight-burst conclusions — before it
+          enters the observation store (and hence snapshots and archived
+          evidence) *)
+  tap_advertised_peers : time:float -> node:int -> int array -> int array option;
+      (** rewrites the peer set [node] advertises in its routing-state
+          snapshot; biased peer-sampling injection over-represents a
+          favored node *)
+  tap_forged_reports : time:float -> prober:int -> (int * bool) list;
+      (** extra (link, up) observations [prober] fabricates after each
+          lightweight round — the ballot-stuffing vector the
+          [one_vote_per_prober] defense collapses *)
+}
+(** Tap points where a strategy layer ([Concilium_adversary]) lets
+    compromised nodes intercept or forge protocol messages. Determinism
+    contract: a tap must be a pure function of its arguments and the
+    strategy's own state, drawing randomness only from a PRNG pre-split
+    from the scenario seed — never from the runtime's. Firing taps is
+    observable in metrics (["adversary.route_rewrites"],
+    ["adversary.forced_drops"], ["adversary.lies"],
+    ["adversary.advert_rewrites"], ["adversary.forged_reports"]). *)
+
+val no_taps : taps
+(** Every tap is the identity; byte-identical behaviour to a tapless
+    runtime. *)
 
 type diagnosis =
   | Diagnosed of Stewardship.resolution
@@ -99,6 +153,7 @@ val create :
   ?control_latency:(time:float -> float) ->
   ?put_copies:(time:float -> int) ->
   ?obs:Concilium_obs.Collector.t ->
+  ?taps:taps ->
   config ->
   behavior:(int -> behavior) ->
   t

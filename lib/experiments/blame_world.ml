@@ -16,6 +16,7 @@ type config = {
   delta : float;
   guilt_threshold : float;
   colluding_fraction : float;
+  corroboration : float;
   exclude_suspect_probes : bool;
   global_visibility : bool;
   seed : int64;
@@ -29,6 +30,7 @@ let paper_config ~colluding_fraction ~seed =
     delta = 60.;
     guilt_threshold = 0.4;
     colluding_fraction;
+    corroboration = 1.;
     exclude_suspect_probes = true;
     global_visibility = false;
     seed;
@@ -102,6 +104,22 @@ let misclassifies t ~prober ~link ~probe_index =
   let noise_rng = Prng.of_seed h in
   Prng.uniform noise_rng > t.config.accuracy
 
+(* Whether a colluder actually lies on this observation. At corroboration
+   1.0 (the paper's Figure 5(b) setting) the short-circuit keeps the
+   computation — and thus every derived byte — identical to a world with
+   no corroboration knob at all. Below 1.0 the decision is a deterministic
+   hash of the same coordinates as probe noise, salted so the two bits are
+   independent. *)
+let colludes t ~prober ~link ~probe_index =
+  t.config.corroboration >= 1.
+  ||
+  let h = Hashing.fnv1a_int Hashing.offset 0x636f6c6cL (* "coll" *) in
+  let h = Hashing.fnv1a_int h (Int64.of_int prober) in
+  let h = Hashing.fnv1a_int h (Int64.of_int link) in
+  let h = Hashing.fnv1a_int h (Int64.of_int probe_index) in
+  let h = Hashing.fnv1a_int h t.config.seed in
+  Prng.uniform (Prng.of_seed h) < t.config.corroboration
+
 type judgment = {
   judge : int;
   suspect : int;
@@ -136,7 +154,11 @@ let judge t ~judge:a ~suspect:b ~next_hop:c ~time =
                 for probe_index = first to stop - 1 do
                   let probe_time = schedule.(probe_index) in
                   let observed_up =
-                    if t.malicious.(prober) && t.config.colluding_fraction > 0. then
+                    if
+                      t.malicious.(prober)
+                      && t.config.colluding_fraction > 0.
+                      && colludes t ~prober ~link ~probe_index
+                    then
                       (* Strategic inversion: claim "down" to shield a fellow
                          colluder, "up" to frame an innocent suspect. *)
                       not t.malicious.(b)

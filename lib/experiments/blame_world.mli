@@ -28,6 +28,14 @@ type config = {
   delta : float;  (** paper: 60 s *)
   guilt_threshold : float;  (** paper: 0.4 *)
   colluding_fraction : float;  (** 0 = all honest; paper also studies 0.2 *)
+  corroboration : float;
+      (** probability a colluder lies on any given observation (1.0 — the
+          default, and the paper's Figure 5(b) setting — means every
+          malicious vote is strategically inverted). The decision is a
+          deterministic hash of (prober, link, probe index, seed), salted
+          independently from probe noise, so at 1.0 the results are
+          byte-identical to a build without the knob and at any value a
+          verifier re-derives the same lie pattern. *)
   exclude_suspect_probes : bool;
       (** the paper's rule (Section 3.4): the judged node's own probe
           results never enter Equation 3. Settable to [false] only for the

@@ -1,0 +1,106 @@
+module World = Concilium_core.World
+
+let default_fractions = [| 0.; 0.05; 0.1; 0.2; 0.3 |]
+let default_corroborations = [| 0.25; 0.5; 1.0 |]
+
+type point = {
+  fraction : float;
+  corroboration : float;
+  false_blame : float;
+  missed_blame : float;
+  innocent_samples : int;
+  faulty_samples : int;
+}
+
+type result = {
+  baseline : Blame_world.result;
+  points : point array;
+}
+
+let point_of ~fraction ~corroboration (r : Blame_world.result) =
+  {
+    fraction;
+    corroboration;
+    false_blame = r.Blame_world.p_good;
+    missed_blame = 1. -. r.Blame_world.p_faulty;
+    innocent_samples = r.Blame_world.nonfaulty_samples;
+    faulty_samples = r.Blame_world.faulty_samples;
+  }
+
+let run ?pool ~world ~samples ~bins ~seed ?(fractions = default_fractions)
+    ?(corroborations = default_corroborations) () =
+  (* One seed for the whole sweep: create's malice stream is identical in
+     every cell, so coalitions are nested prefixes of one permutation. *)
+  let cell ~fraction ~corroboration =
+    let config =
+      {
+        (Blame_world.paper_config ~colluding_fraction:fraction ~seed) with
+        Blame_world.corroboration;
+      }
+    in
+    Blame_world.run ?pool (Blame_world.create ~world config) ~samples ~bins
+  in
+  let baseline = cell ~fraction:0. ~corroboration:1. in
+  let points =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun corroboration ->
+              Array.map
+                (fun fraction ->
+                  (* fraction-0 cells are recomputed, not aliased to the
+                     baseline: their exact equality is the evidence that
+                     the corroboration knob changes nothing without
+                     colluders. *)
+                  point_of ~fraction ~corroboration (cell ~fraction ~corroboration))
+                fractions)
+            corroborations))
+  in
+  { baseline; points }
+
+let zero_adversary_consistent result =
+  let base = point_of ~fraction:0. ~corroboration:1. result.baseline in
+  Array.for_all
+    (fun p ->
+      p.fraction > 0.
+      || (p.false_blame = base.false_blame
+         && p.missed_blame = base.missed_blame
+         && p.innocent_samples = base.innocent_samples
+         && p.faulty_samples = base.faulty_samples))
+    result.points
+
+let false_blame_monotone result =
+  (* points are corroboration-major with fractions ascending inside each
+     group, so a violation is a same-corroboration neighbour that drops. *)
+  let ok = ref true in
+  Array.iteri
+    (fun i p ->
+      if i > 0 then begin
+        let prev = result.points.(i - 1) in
+        if prev.corroboration = p.corroboration && prev.false_blame > p.false_blame then
+          ok := false
+      end)
+    result.points;
+  !ok
+
+let table result =
+  {
+    Output.title =
+      "Blame accuracy under collusion: verdict error rates vs coalition size and corroboration \
+       (fraction 0 rows recompute the honest baseline)";
+    header =
+      [ "fraction"; "corroboration"; "false blame"; "missed blame"; "innocent n"; "faulty n" ];
+    rows =
+      Array.to_list
+        (Array.map
+           (fun p ->
+             [
+               Printf.sprintf "%.2f" p.fraction;
+               Printf.sprintf "%.2f" p.corroboration;
+               Output.cell_pct p.false_blame;
+               Output.cell_pct p.missed_blame;
+               Output.cell_i p.innocent_samples;
+               Output.cell_i p.faulty_samples;
+             ])
+           result.points);
+  }

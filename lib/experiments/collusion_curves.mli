@@ -1,0 +1,55 @@
+(** Blame accuracy under collusion, swept over coalition size and
+    corroboration rate — the degradation curves behind Figure 5(b).
+
+    Every cell shares one seed: the failure process, probe schedules and
+    probe noise are common to all of them, and because
+    {!Concilium_util.Prng.sample_without_replacement} draws a prefix of
+    one lazily-materialised permutation, the malicious sets are {e nested}
+    as the colluding fraction grows. A bigger coalition is therefore the
+    same world plus more liars — which is what makes the curves monotone
+    rather than re-rolled — and the fraction-0 cells recompute the honest
+    baseline through the very same code path, demonstrating that the
+    corroboration knob is inert when nobody colludes. *)
+
+module World = Concilium_core.World
+
+val default_fractions : float array
+(** [| 0.; 0.05; 0.1; 0.2; 0.3 |] *)
+
+val default_corroborations : float array
+(** [| 0.25; 0.5; 1.0 |] — 1.0 is the paper's always-invert colluder. *)
+
+type point = {
+  fraction : float;  (** colluding fraction of overlay nodes *)
+  corroboration : float;  (** per-observation lie probability *)
+  false_blame : float;  (** innocent suspects receiving a guilty verdict *)
+  missed_blame : float;  (** colluding droppers escaping a guilty verdict *)
+  innocent_samples : int;
+  faulty_samples : int;
+}
+
+type result = {
+  baseline : Blame_world.result;  (** honest run, same seed and samples *)
+  points : point array;  (** corroboration-major, then fraction order *)
+}
+
+val run :
+  ?pool:Concilium_util.Pool.t ->
+  world:World.t ->
+  samples:int ->
+  bins:int ->
+  seed:int64 ->
+  ?fractions:float array ->
+  ?corroborations:float array ->
+  unit ->
+  result
+
+val zero_adversary_consistent : result -> bool
+(** Every fraction-0 point carries exactly the baseline's verdict rates
+    and sample counts — float-equal, not approximately. *)
+
+val false_blame_monotone : result -> bool
+(** Within each corroboration level, false blame never decreases as the
+    colluding fraction grows. *)
+
+val table : result -> Output.table

@@ -85,6 +85,97 @@ val sample :
     pool is empty are skipped. The result is sorted by start time (ties by
     construction order), so equal seeds give equal plans. *)
 
+type adversary =
+  | Collusion of {
+      members : int array;
+      drop_probability : float;
+      corroboration : float;
+      start : float;
+      duration : float;
+    }
+      (** a forwarder coalition: members drop forwarded episodes with
+          [drop_probability] while corroborating each other's probe reports
+          (claiming a colluder's links healthy look bad, i.e. shielding the
+          dropper) with probability [corroboration] per report *)
+  | Lying_reporters of {
+      reporters : int array;
+      victim : int;
+      corroboration : float;
+      start : float;
+      duration : float;
+    }
+      (** tomography liars: reporters bias their probe observations to frame
+          [victim]'s links as bad, each lie drawn with probability
+          [corroboration] *)
+  | Eclipse of { attackers : int array; victim : int; start : float; duration : float }
+      (** targeted joins: attackers wedge themselves into overlay routes
+          adjacent to [victim] so they can intercept its traffic *)
+  | Biased_sampling of {
+      samplers : int array;
+      favored : int;
+      start : float;
+      duration : float;
+    }
+      (** peer-sampling bias: samplers over-advertise [favored] (SecureCyclon's
+          threat model), skewing who gets probed and judged *)
+
+type adversary_plan = adversary list
+(** Adversary clauses are pure data, like faults: chaos samples {e who} is
+    compromised, {e when}, and with what intensity. The semantics — how a
+    clause intercepts and forges protocol messages — are compiled above the
+    core by [Concilium_adversary] into protocol tap functions, keeping this
+    module below the protocol in the layering. *)
+
+type adversary_config = {
+  collusions_per_hour : float;
+  collusion_size : int;
+  collusion_drop_probability : float;
+  collusion_corroboration : float;
+  collusion_mean_duration : float;
+  lying_per_hour : float;
+  lying_size : int;
+  lying_corroboration : float;
+  lying_mean_duration : float;
+  eclipses_per_hour : float;
+  eclipse_size : int;
+  eclipse_mean_duration : float;
+  biased_per_hour : float;
+  biased_size : int;
+  biased_mean_duration : float;
+}
+
+val no_adversaries : adversary_config
+(** All rates and sizes zero: sampling yields the empty plan. *)
+
+val default_adversary_config : adversary_config
+(** Moderate adversarial pressure for soak runs: roughly one coalition and
+    one lying-reporter cell per simulated hour, occasional eclipse and
+    sampling-bias campaigns, 15-minute mean campaign durations. *)
+
+val sample_adversaries :
+  rng:Concilium_util.Prng.t ->
+  config:adversary_config ->
+  nodes:int ->
+  ?peers_of:(int -> int array) ->
+  horizon:float ->
+  unit ->
+  adversary_plan
+(** Draw adversary campaigns over [0, horizon) under the same discipline as
+    {!sample}: Poisson arrivals per strategy family, exponential durations,
+    members/victims uniform over [0, nodes). Lying reporters and biased
+    samplers never include their own victim/favored node. Eclipse attackers
+    are drawn from [peers_of victim] when provided (an eclipse needs nodes
+    already adjacent to the victim's routing state) and fall back to
+    arbitrary non-victim nodes otherwise. Fewer than two nodes yields the
+    empty plan. Sorted by start time; equal seeds give equal plans. *)
+
+val adversary_active : adversary -> time:float -> bool
+(** Whether the campaign's [start, start + duration) window covers [time]. *)
+
+val adversary_counts : adversary_plan -> (string * int) list
+(** Strategy-family histogram in a fixed order ("collusion",
+    "lying_reporters", "eclipse", "biased_sampling") — transcript-friendly. *)
+
 val cut_of_paths : paths:(bool * bool * int array) list -> int array
 (** Links that realise a partition: given each known path as (side of its
     source, side of its destination, traversed links), return the links

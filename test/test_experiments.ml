@@ -123,6 +123,50 @@ let test_fig5_judgments_deterministic () =
   check (Alcotest.float 1e-12) "same seed, same blame" a.E.Blame_world.blame
     b.E.Blame_world.blame
 
+let test_collusion_curves_zero_point_is_baseline () =
+  let world = Lazy.force world_fixture in
+  let result =
+    E.Collusion_curves.run ~world ~samples:600 ~bins:10 ~seed:9L ~fractions:[| 0.; 0.2 |]
+      ~corroborations:[| 0.5; 1.0 |] ()
+  in
+  (* The fraction-0 cells are recomputed with the corroboration knob at
+     0.5 and 1.0; exact equality with the honest baseline is the
+     no-adversary-no-effect guarantee the curves rest on. *)
+  check Alcotest.bool "zero-adversary rows equal the honest baseline exactly" true
+    (E.Collusion_curves.zero_adversary_consistent result);
+  check Alcotest.int "grid complete" 4 (Array.length result.E.Collusion_curves.points);
+  (* Full corroboration at 20% colluders must visibly degrade verdicts
+     relative to the honest world (the Figure 5(b) effect). *)
+  let cell ~fraction ~corroboration =
+    Array.to_list result.E.Collusion_curves.points
+    |> List.find (fun p ->
+           p.E.Collusion_curves.fraction = fraction
+           && p.E.Collusion_curves.corroboration = corroboration)
+  in
+  let honest = cell ~fraction:0. ~corroboration:1.0 in
+  let full = cell ~fraction:0.2 ~corroboration:1.0 in
+  check Alcotest.bool "collusion raises false blame" true
+    (full.E.Collusion_curves.false_blame > honest.E.Collusion_curves.false_blame);
+  check Alcotest.bool "collusion raises missed blame" true
+    (full.E.Collusion_curves.missed_blame > honest.E.Collusion_curves.missed_blame)
+
+let test_collusion_corroboration_scales_attack () =
+  let world = Lazy.force world_fixture in
+  let bw corroboration =
+    E.Blame_world.create ~world
+      {
+        (E.Blame_world.paper_config ~colluding_fraction:0.2 ~seed:9L) with
+        E.Blame_world.duration = 1800.;
+        corroboration;
+      }
+  in
+  let half = E.Blame_world.run (bw 0.5) ~samples:1500 ~bins:10 in
+  let full = E.Blame_world.run (bw 1.0) ~samples:1500 ~bins:10 in
+  check Alcotest.bool "half-hearted liars frame fewer innocents" true
+    (half.E.Blame_world.p_good <= full.E.Blame_world.p_good);
+  check Alcotest.bool "half-hearted liars shield fewer droppers" true
+    (half.E.Blame_world.p_faulty >= full.E.Blame_world.p_faulty)
+
 let test_fig6_recommends_m () =
   let result = E.Fig6.run ~w:100 ~max_m:30 { E.Fig6.label = "h"; p_good = 0.018; p_faulty = 0.938 } in
   check (Alcotest.option Alcotest.int) "paper honest m=6" (Some 6) result.E.Fig6.recommended_m;
@@ -199,6 +243,13 @@ let suites =
           test_fig5_failure_process_on_target;
         Alcotest.test_case "collusion degrades verdicts" `Slow test_fig5_collusion_degrades;
         Alcotest.test_case "judgments deterministic" `Quick test_fig5_judgments_deterministic;
+      ] );
+    ( "experiments.collusion_curves",
+      [
+        Alcotest.test_case "zero-adversary point is the baseline" `Slow
+          test_collusion_curves_zero_point_is_baseline;
+        Alcotest.test_case "corroboration scales the attack" `Slow
+          test_collusion_corroboration_scales_attack;
       ] );
     ( "experiments.fig6",
       [ Alcotest.test_case "recommends the paper's m" `Quick test_fig6_recommends_m ] );
