@@ -390,6 +390,20 @@ let json_of_results results =
         duration
         (if i = List.length spans - 1 then "" else ","))
     spans;
+  add "  ],\n";
+  (* Per-domain activity of the shared pool, so a pool-vs-sequential gap is
+     attributable: all idle = starved submitter, all steal-wait = chunks too
+     fine. Only forced when a pooled benchmark actually ran. *)
+  let pool_stats = if Lazy.is_val shared_pool then Pool.stats (Lazy.force shared_pool) else [] in
+  add "  \"pool\": [\n";
+  List.iteri
+    (fun i { Pool.worker; busy_s; idle_s; steal_wait_s; chunks } ->
+      add
+        "    { \"worker\": %d, \"busy_s\": %.6f, \"idle_s\": %.6f, \"steal_wait_s\": %.6f, \
+         \"chunks\": %d }%s\n"
+        worker busy_s idle_s steal_wait_s chunks
+        (if i = List.length pool_stats - 1 then "" else ","))
+    pool_stats;
   add "  ]\n}\n";
   Buffer.contents buf
 

@@ -33,6 +33,9 @@ module Pool = Concilium_util.Pool
 module Collector = Concilium_obs.Collector
 module Trace = Concilium_obs.Trace
 module Export = Concilium_obs.Export
+module Flight = Concilium_obs.Flight
+module Timeseries = Concilium_obs.Timeseries
+module Prov_graph = Concilium_provenance.Graph
 module Validation = Concilium_core.Validation
 module Strategy = Concilium_adversary.Strategy
 module Soak = Concilium_adversary.Soak_invariants
@@ -297,7 +300,7 @@ let counting_taps base adv =
         forged);
   }
 
-let run_scenario ~seed ~index ~rng ~obs ~disable scenario =
+let run_scenario ~seed ~index ~rng ~obs ~timeseries ~disable scenario =
   let tally =
     {
       delivered = 0;
@@ -501,9 +504,23 @@ let run_scenario ~seed ~index ~rng ~obs ~disable scenario =
           Protocol.send_message protocol ~from ~dest ~payload:"soak"
             ~on_outcome:(fun outcome -> outcomes.(i) <- Some outcome))
     done;
+    (* Metrics time series: sample the live registry at every epoch
+       boundary in virtual time. The sampler only deep-copies the metrics
+       -- it never touches simulation state -- so arming it cannot perturb
+       the run or its byte-stable transcript. *)
+    let horizon = scenario.duration +. 900. in
+    Option.iter
+      (fun series ->
+        let cadence = Timeseries.cadence series in
+        let epochs = int_of_float (Float.floor (horizon /. cadence)) in
+        for k = 1 to epochs do
+          Engine.schedule_at engine ~time:(float_of_int k *. cadence) (fun e ->
+              Timeseries.sample series ~time:(Engine.now e) obs.Collector.metrics)
+        done)
+      timeseries;
     (* Run past the horizon so the last judgments (drop + Delta + injected
        control latency, after retransmits) flush. *)
-    Engine.run_until engine (scenario.duration +. 900.);
+    Engine.run_until engine horizon;
     Array.iter
       (fun outcome ->
         match outcome with
@@ -703,7 +720,8 @@ let emit_json buf ~matrix ~seed ~disable ~expect_failure results =
     results;
   add "  ],\n  \"pass\": %b\n}\n" (List.for_all scenario_passed results)
 
-let run matrix seed domains trace_out metrics_out trace_filter disable expect_failure =
+let run matrix seed domains trace_out metrics_out trace_filter provenance_out flight_out
+    timeseries_out cadence disable expect_failure =
   let scenarios =
     match matrix with
     | "small" -> small_matrix
@@ -719,23 +737,80 @@ let run matrix seed domains trace_out metrics_out trace_filter disable expect_fa
      always record here because the transcript's dht_failover_times field
      reads the trace. *)
   let master = Prng.of_seed seed in
-  let rngs = Prng.split_n master (List.length scenarios) in
-  let collectors = Collector.shards (List.length scenarios) in
+  let count = List.length scenarios in
+  let rngs = Prng.split_n master count in
+  let collectors = Collector.shards count in
+  (* Flight recorders and time series are per-scenario shards, allocated
+     and attached before the fan-out like every other sink: each worker
+     only ever touches its own scenario's ring and series. *)
+  let flights =
+    if flight_out = None then [||]
+    else
+      Array.init count (fun i ->
+          let flight = Flight.create () in
+          Flight.attach flight collectors.(i);
+          flight)
+  in
+  let series =
+    if timeseries_out = None then [||]
+    else begin
+      if cadence <= 0. then begin
+        Printf.eprintf "--cadence must be positive\n";
+        exit 2
+      end;
+      Array.init count (fun _ -> Timeseries.create ~cadence)
+    end
+  in
   let indexed = Array.of_list (List.mapi (fun i s -> (i, s)) scenarios) in
   let results =
     Pool.with_pool ?domains (fun pool ->
         Pool.parallel_map ~pool indexed ~f:(fun (i, s) ->
-            run_scenario ~seed ~index:i ~rng:rngs.(i) ~obs:collectors.(i) ~disable s))
+            run_scenario ~seed ~index:i ~rng:rngs.(i) ~obs:collectors.(i)
+              ~timeseries:(if series = [||] then None else Some series.(i))
+              ~disable s))
   in
   let results = Array.to_list results in
-  if trace_out <> None || metrics_out <> None then begin
+  if trace_out <> None || metrics_out <> None || provenance_out <> None then begin
     let merged = Collector.merge collectors in
     let filter = Export.filter_of_spec trace_filter in
     Option.iter
       (fun path -> Export.write_trace ~path ?filter merged.Collector.trace)
       trace_out;
-    Option.iter (fun path -> Export.write_metrics ~path merged.Collector.metrics) metrics_out
+    Option.iter (fun path -> Export.write_metrics ~path merged.Collector.metrics) metrics_out;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Prov_graph.jsonl merged.Collector.prov);
+        close_out oc)
+      provenance_out
   end;
+  Option.iter
+    (fun path ->
+      let merged = Timeseries.merge series in
+      let oc = open_out path in
+      output_string oc (Timeseries.jsonl merged);
+      close_out oc)
+    timeseries_out;
+  (* Flight dumps only materialize on failure: each failed scenario's ring
+     (its last trace records and provenance deltas) is appended to the
+     artifact, so a red soak ships with its trailing context. *)
+  Option.iter
+    (fun path ->
+      if List.exists (fun r -> not (scenario_passed r)) results then begin
+        let oc = open_out path in
+        List.iteri
+          (fun i r ->
+            if not (scenario_passed r) then begin
+              let reason =
+                Printf.sprintf "%s: %s" r.scenario.name
+                  (String.concat ", " (Soak.failures (invariant_inputs r)))
+              in
+              output_string oc (Flight.dump ~reason flights.(i))
+            end)
+          results;
+        close_out oc
+      end)
+    flight_out;
   let buf = Buffer.create 4096 in
   emit_json buf ~matrix ~seed ~disable ~expect_failure results;
   print_string (Buffer.contents buf);
@@ -797,6 +872,41 @@ let trace_filter =
     & info [ "trace-filter" ] ~docv:"CATS"
         ~doc:"Keep only trace records in these comma-separated categories (e.g. chaos,episode).")
 
+let provenance_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "provenance" ] ~docv:"FILE"
+        ~doc:
+          "Write the merged verdict-provenance graph as JSONL to $(docv): every \
+           accusation, rebuttal and verdict with its evidence DAG, replayable with \
+           concilium-explain. Byte-identical for any --domains value.")
+
+let flight_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Arm a per-scenario flight recorder (a bounded ring of trace records and \
+           provenance deltas) and, if any scenario fails its invariants, dump the failed \
+           scenarios' rings to $(docv). No file is written on a green run.")
+
+let timeseries_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeseries" ] ~docv:"FILE"
+        ~doc:
+          "Sample every scenario's metrics registry at a fixed virtual-time cadence (see \
+           $(b,--cadence)) and write the merged epoch-bucketed series as JSONL to $(docv).")
+
+let cadence =
+  Arg.(
+    value & opt float 300.
+    & info [ "cadence" ] ~docv:"SECONDS"
+        ~doc:"Epoch width, in virtual seconds, for $(b,--timeseries) sampling.")
+
 let disable_defense =
   Arg.(
     value
@@ -829,6 +939,7 @@ let cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ matrix $ seed $ domains $ trace_out $ metrics_out $ trace_filter
-      $ disable_defense $ expect_failure)
+      $ provenance_out $ flight_out $ timeseries_out $ cadence $ disable_defense
+      $ expect_failure)
 
 let () = exit (Cmd.eval' cmd)

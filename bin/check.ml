@@ -16,6 +16,7 @@ module Harness = Concilium_check.Harness
 module Lockstep = Concilium_check.Lockstep
 module Schedule = Concilium_check.Schedule
 module Json = Concilium_check.Json
+module Flight = Concilium_obs.Flight
 
 let mutation_names = String.concat ", " (List.map Lockstep.mutation_name Lockstep.all_mutations)
 
@@ -52,13 +53,32 @@ let run_replay path =
           1)
 
 let run_budget ~budget ~seed ~domains ~mutation ~expect_divergence ~artifact_path
-    ~reconcile_runs =
+    ~flight_path ~reconcile_runs =
   let report = Harness.run_budget ?domains ?mutation ~base_seed:seed ~budget () in
   print_string (Harness.render_transcript report);
   (match (report.Harness.counterexample, artifact_path) with
   | Some (schedule, divergence), Some path ->
       write_file path
         (Json.to_string_pretty (Harness.artifact ~schedule ~mutation ~divergence) ^ "\n")
+  | _ -> ());
+  (* Flight artifact: the minimized counterexample's schedule rendered as
+     one JSONL line per op, dumped through the same ring-buffer format as
+     the soak recorders, so a conformance failure ships the exact op
+     sequence in the harness-wide artifact shape. *)
+  (match (report.Harness.counterexample, flight_path) with
+  | Some (schedule, divergence), Some path ->
+      let flight = Flight.create () in
+      let encoded = Schedule.encode schedule in
+      (match encoded with
+      | Json.Obj fields ->
+          Flight.note flight
+            (Json.to_string (Json.Obj (List.filter (fun (name, _) -> name <> "ops") fields)))
+      | _ -> ());
+      (match Option.bind (Json.member "ops" encoded) Json.to_list with
+      | Some ops -> List.iter (fun op -> Flight.note flight (Json.to_string op)) ops
+      | None -> ());
+      Flight.write ~path ~reason:(Format.asprintf "%a" Lockstep.pp_divergence divergence)
+        flight
   | _ -> ());
   let reconcile_ok = ref true in
   for i = 0 to reconcile_runs - 1 do
@@ -84,8 +104,8 @@ let run_budget ~budget ~seed ~domains ~mutation ~expect_divergence ~artifact_pat
   else if report.Harness.divergent = 0 && !reconcile_ok then 0
   else 1
 
-let run budget seed domains inject_bug expect_divergence artifact_path reconcile_runs replay_path
-    =
+let run budget seed domains inject_bug expect_divergence artifact_path flight_path
+    reconcile_runs replay_path =
   match replay_path with
   | Some path -> run_replay path
   | None -> (
@@ -96,7 +116,7 @@ let run budget seed domains inject_bug expect_divergence artifact_path reconcile
       | _ ->
           let mutation = Option.bind inject_bug Lockstep.mutation_of_name in
           run_budget ~budget ~seed ~domains ~mutation ~expect_divergence ~artifact_path
-            ~reconcile_runs)
+            ~flight_path ~reconcile_runs)
 
 open Cmdliner
 
@@ -140,6 +160,16 @@ let artifact_path =
     & info [ "artifact" ] ~docv:"FILE"
         ~doc:"Write the minimized counterexample as JSON to $(docv) when a divergence is found.")
 
+let flight_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "When a divergence is found, dump the minimized counterexample schedule (one \
+           JSONL line per op) through the flight-recorder format to $(docv). No file on a \
+           green run.")
+
 let reconcile_runs =
   Arg.(
     value & opt int 2
@@ -161,6 +191,6 @@ let cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
       const run $ budget $ seed $ domains $ inject_bug $ expect_divergence $ artifact_path
-      $ reconcile_runs $ replay_path)
+      $ flight_path $ reconcile_runs $ replay_path)
 
 let () = exit (Cmd.eval' cmd)

@@ -10,6 +10,9 @@
 module Scale_world = Concilium_scale.Scale_world
 module Inc_table = Concilium_overlay.Inc_table
 module Pool = Concilium_util.Pool
+module Collector = Concilium_obs.Collector
+module Export = Concilium_obs.Export
+module Flight = Concilium_obs.Flight
 
 (* This driver is the one place that measures wall-clock cost; nothing it
    times feeds back into simulation state.  lint: allow wall-clock *)
@@ -73,7 +76,7 @@ type run_result = {
   rss_after_mb : int;
 }
 
-let run_one ~protocol ~nodes ~seed ~pool ~episodes ~routes_per_episode ~churn_events buf =
+let run_one ~protocol ~nodes ~seed ~pool ~obs ~episodes ~routes_per_episode ~churn_events buf =
   Gc.compact ();
   let config = Scale_world.config ~protocol ~nodes ~seed () in
   let t0 = now () in
@@ -98,7 +101,7 @@ let run_one ~protocol ~nodes ~seed ~pool ~episodes ~routes_per_episode ~churn_ev
     Buffer.add_string buf (Scale_world.state_line world);
     Buffer.add_char buf '\n';
     let t0 = now () in
-    let result = Scale_world.run_episode ?pool world ~episode ~routes:routes_per_episode in
+    let result = Scale_world.run_episode ?pool ~obs world ~episode ~routes:routes_per_episode in
     route_time := !route_time +. (now () -. t0);
     routed := !routed + result.Scale_world.routes;
     delivered := !delivered + result.Scale_world.delivered;
@@ -189,7 +192,7 @@ let emit_json buf ~seed results =
   Buffer.add_string buf "}\n"
 
 let run protocol_spec sizes_spec seed domains episodes routes churn_events transcript json_out
-    rss_ceiling_mb =
+    metrics_out trace_out flight_out rss_ceiling_mb =
   let sizes =
     match parse_sizes sizes_spec with
     | sizes -> sizes
@@ -207,6 +210,22 @@ let run protocol_spec sizes_spec seed domains episodes routes churn_events trans
         exit 2
   in
   let pool = Option.map (fun domains -> Pool.create ~domains ()) domains in
+  (* One collector for the whole sweep: every record lands in the
+     sequential aggregation pass, so a single shard is already
+     deterministic for any --domains value (harness symmetry with
+     chaos.exe's --metrics/--trace). *)
+  let obs =
+    if metrics_out = None && trace_out = None && flight_out = None then Collector.noop
+    else Collector.create ()
+  in
+  let flight =
+    Option.map
+      (fun _ ->
+        let flight = Flight.create () in
+        Flight.attach flight obs;
+        flight)
+      flight_out
+  in
   let buf = Buffer.create 4096 in
   let results =
     List.concat_map
@@ -214,7 +233,7 @@ let run protocol_spec sizes_spec seed domains episodes routes churn_events trans
         List.map
           (fun protocol ->
             let r =
-              run_one ~protocol ~nodes ~seed ~pool ~episodes ~routes_per_episode:routes
+              run_one ~protocol ~nodes ~seed ~pool ~obs ~episodes ~routes_per_episode:routes
                 ~churn_events buf
             in
             Printf.printf
@@ -242,9 +261,17 @@ let run protocol_spec sizes_spec seed domains episodes routes churn_events trans
       output_string oc (Buffer.contents jbuf);
       close_out oc)
     json_out;
+  Option.iter (fun path -> Export.write_metrics ~path obs.Collector.metrics) metrics_out;
+  Option.iter (fun path -> Export.write_trace ~path obs.Collector.trace) trace_out;
+  let dump_flight reason =
+    match (flight, flight_out) with
+    | Some flight, Some path -> Flight.write ~path ~reason flight
+    | _ -> ()
+  in
   let stale = List.fold_left (fun acc r -> acc + r.stale_slots) 0 results in
   if stale > 0 then begin
     Printf.eprintf "scale: %d stale slots disagree with the rebuild oracle\n" stale;
+    dump_flight (Printf.sprintf "stale-slots: %d" stale);
     exit 1
   end;
   (match rss_ceiling_mb with
@@ -252,6 +279,7 @@ let run protocol_spec sizes_spec seed domains episodes routes churn_events trans
       let hwm = hwm_mb () in
       if hwm > ceiling then begin
         Printf.eprintf "scale: peak RSS %dMB exceeds ceiling %dMB\n" hwm ceiling;
+        dump_flight (Printf.sprintf "rss-ceiling: %dMB > %dMB" hwm ceiling);
         exit 1
       end
   | None -> ());
@@ -308,6 +336,33 @@ let json_out =
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE" ~doc:"Write timing results as JSON to $(docv).")
 
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the metrics snapshot (route counters, hop histogram) as JSON to $(docv). \
+           Byte-identical for any --domains value.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the episode trace to $(docv): Chrome trace_event JSON for .json names, \
+           JSONL otherwise. Byte-identical for any --domains value.")
+
+let flight_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          "Arm a flight recorder over the episode trace and dump its ring to $(docv) if \
+           the run fails (stale slots or a blown RSS ceiling). No file on a green run.")
+
 let rss_ceiling =
   Arg.(
     value
@@ -320,6 +375,6 @@ let cmd =
   Cmd.v (Cmd.info "scale" ~doc)
     Term.(
       const run $ protocol $ nodes $ seed $ domains $ episodes $ routes $ churn_events
-      $ transcript $ json_out $ rss_ceiling)
+      $ transcript $ json_out $ metrics_out $ trace_out $ flight_out $ rss_ceiling)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,6 +11,7 @@ module Prng = Concilium_util.Prng
 module Obs = Concilium_obs.Collector
 module Trace = Concilium_obs.Trace
 module Metrics = Concilium_obs.Metrics
+module Prov = Concilium_provenance.Graph
 
 let log_source = Logs.Src.create "concilium.protocol" ~doc:"Concilium protocol runtime"
 
@@ -142,6 +143,13 @@ type t = {
   (* Previous advertised per-peer path status, for snapshot diffs. *)
   last_advertised : bool array option array;
   obs : Obs.t;
+  (* Provenance indexes: recorded observations and issued verdicts keyed
+     back to their arena nodes, so evidence edges can be drawn when a
+     verdict (or a formal accusation citing past verdicts) is produced.
+     Only populated when the collector's provenance graph is recording.
+     Times are keyed by their IEEE bits — the exact double, no epsilon. *)
+  prov_probes : (int * int * int64 * bool, Prov.node) Hashtbl.t;
+  prov_verdicts : (int * int * int64, Prov.node) Hashtbl.t;
   mutable message_seq : int;
 }
 
@@ -154,6 +162,13 @@ let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> tru
   if Obs.enabled obs then
     Engine.set_on_push engine (fun ~pending ->
         Metrics.observe obs.Obs.metrics "engine.queue_depth" (float_of_int pending));
+  (* Replay parameters ride with the provenance graph so explain.exe can
+     re-run Blame over archived votes without the run's config files. *)
+  if Prov.enabled obs.Obs.prov then begin
+    Prov.set_param obs.Obs.prov "accuracy" config.blame.Blame.accuracy;
+    Prov.set_param obs.Obs.prov "delta" config.blame.Blame.delta;
+    Prov.set_param obs.Obs.prov "guilt_threshold" config.blame.Blame.guilt_threshold
+  end;
   {
     world;
     engine;
@@ -171,6 +186,8 @@ let create ~world ~engine ~link_state ~rng ?(availability = fun ~time:_ _ -> tru
     control_bytes = Array.make (World.node_count world) 0;
     last_advertised = Array.make (World.node_count world) None;
     obs;
+    prov_probes = Hashtbl.create (if Prov.enabled obs.Obs.prov then 1024 else 1);
+    prov_verdicts = Hashtbl.create (if Prov.enabled obs.Obs.prov then 256 else 1);
     message_seq = 0;
   }
 
@@ -178,6 +195,26 @@ let observations t = t.observations
 let dht t = t.dht
 let world t = t.world
 let obs t = t.obs
+
+(* ---------- Provenance recording ---------- *)
+
+(* Every archived observation gets an arena node so verdict evidence edges
+   can point at the exact votes that were counted. Identical re-reports
+   (same prober/link/time/polarity) collapse onto the latest node — their
+   vote multisets are indistinguishable, so replay is unaffected. *)
+let prov_record_probe t ~prober ~link ~time ~up ~tapped ~forged =
+  let prov = t.obs.Obs.prov in
+  if Prov.enabled prov then begin
+    let node = Prov.probe prov ~prober ~link ~time ~up ~tapped ~forged in
+    Hashtbl.replace t.prov_probes (prober, link, Int64.bits_of_float time, up) node
+  end
+
+let prov_probe_of t obs =
+  Hashtbl.find_opt t.prov_probes
+    ( obs.Observation.prober,
+      obs.Observation.link,
+      Int64.bits_of_float obs.Observation.time,
+      obs.Observation.up )
 
 (* ---------- Lightweight probing ---------- *)
 
@@ -221,7 +258,9 @@ let run_probe_round t v =
             let reported = t.taps.tap_observation ~time:now ~prober:v ~link ~up in
             if reported <> up then Metrics.incr t.obs.Obs.metrics "adversary.lies";
             Observation.record t.observations
-              { Observation.time = now; prober = v; link; up = reported })
+              { Observation.time = now; prober = v; link; up = reported };
+            prov_record_probe t ~prober:v ~link ~time:now ~up:reported
+              ~tapped:(reported <> up) ~forged:false)
           (Logical_tree.chain logical node)
       in
       match verdict with
@@ -238,7 +277,8 @@ let run_probe_round t v =
       Metrics.incr t.obs.Obs.metrics ~by:(List.length forged) "adversary.forged_reports";
       List.iter
         (fun (link, up) ->
-          Observation.record t.observations { Observation.time = now; prober = v; link; up })
+          Observation.record t.observations { Observation.time = now; prober = v; link; up };
+          prov_record_probe t ~prober:v ~link ~time:now ~up ~tapped:false ~forged:true)
         forged);
   (* Bandwidth accounting (Section 4.4): the probe stripe itself, plus the
      snapshot advertisement to every routing peer — the full table on first
@@ -355,7 +395,9 @@ let run_heavyweight_burst t v ~stamp ~parent =
               let reported = t.taps.tap_observation ~time:stamp ~prober:v ~link ~up in
               if reported <> up then Metrics.incr t.obs.Obs.metrics "adversary.lies";
               Observation.record t.observations
-                { Observation.time = stamp; prober = v; link; up = reported })
+                { Observation.time = stamp; prober = v; link; up = reported };
+              prov_record_probe t ~prober:v ~link ~time:stamp ~up:reported
+                ~tapped:(reported <> up) ~forged:false)
             (Logical_tree.chain logical node)
         end
       done
@@ -382,6 +424,7 @@ let build_advertisement t v =
     | None -> t.world.World.peers.(v)
     | Some rewritten ->
         Metrics.incr t.obs.Obs.metrics "adversary.advert_rewrites";
+        ignore (Prov.tap_firing t.obs.Obs.prov ~kind:Prov.Advert_rewrite ~node:v ~time:now : Prov.node);
         rewritten
   in
   let keep_fraction =
@@ -526,26 +569,52 @@ let dedup_observations obs_list =
   in
   List.fold_left update [] obs_list
 
+(* Provenance of one judgment's evidence: the arena nodes of the exact
+   votes that were counted (post defense filtering, in vote order), and
+   how many candidate votes each defense knob removed. *)
+type prov_evidence = {
+  probes : Prov.node list;
+  excluded : int;  (** removed by [exclude_suspect_probes] *)
+  deduped : int;  (** collapsed by [one_vote_per_prober] *)
+}
+
 (* Collect the signed per-link votes a judge can present as evidence: the
    window-relevant observations of its own forest, re-signed here as they
-   would appear inside the provers' archived snapshots. *)
+   would appear inside the provers' archived snapshots. Also returns the
+   evidence's provenance so the verdict node can cite the exact votes. *)
 let gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment =
   let lo = drop_time -. t.config.blame.Blame.delta in
   let hi = drop_time +. t.config.blame.Blame.delta in
+  let excluded = ref 0 in
+  let deduped = ref 0 in
+  let probes = ref [] in
   let link_votes =
     Array.to_list links
     |> List.filter_map (fun link ->
-           let usable =
+           let visible =
              List.filter
-               (fun obs ->
-                 let prober = obs.Observation.prober in
-                 (not (t.config.exclude_suspect_probes && prober = suspect))
-                 && visible_to t judge prober)
+               (fun obs -> visible_to t judge obs.Observation.prober)
                (Observation.on_link t.observations ~link ~lo ~hi)
            in
-           let usable =
-             if t.config.one_vote_per_prober then dedup_observations usable else usable
+           let kept =
+             List.filter
+               (fun obs ->
+                 let keep =
+                   not (t.config.exclude_suspect_probes && obs.Observation.prober = suspect)
+                 in
+                 if not keep then incr excluded;
+                 keep)
+               visible
            in
+           let usable = if t.config.one_vote_per_prober then dedup_observations kept else kept in
+           deduped := !deduped + (List.length kept - List.length usable);
+           if Prov.enabled t.obs.Obs.prov then
+             List.iter
+               (fun obs ->
+                 match prov_probe_of t obs with
+                 | Some node -> probes := node :: !probes
+                 | None -> ())
+               usable;
            let votes =
              List.map
                (fun obs ->
@@ -558,7 +627,8 @@ let gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment =
            in
            if votes = [] then None else Some { Accusation.link; votes })
   in
-  { Accusation.path_links = links; link_votes; drop_time; commitment }
+  ( { Accusation.path_links = links; link_votes; drop_time; commitment },
+    { probes = List.rev !probes; excluded = !excluded; deduped = !deduped } )
 
 (* Phase A of a judgment: compute the verdict and archive-ready evidence
    without touching any window. Windows are only charged (phase B, below)
@@ -578,8 +648,23 @@ let evaluate_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
   let verdict = Blame.verdict_of_blame t.config.blame blame in
   Log.debug (fun m ->
       m "node %d judges %d: blame %.3f -> %a" judge suspect blame Blame.pp_verdict verdict);
-  let evidence = gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment in
-  (verdict, blame, evidence)
+  let evidence, prov_info = gather_evidence t ~judge ~suspect ~links ~drop_time ~commitment in
+  (verdict, blame, evidence, prov_info)
+
+(* Hang a verdict node's evidence under it: defense interventions first,
+   then the counted votes in vote order, then episode-scoped events (tap
+   firings, steward failover). The edge order is part of the byte-stable
+   output contract. *)
+let attach_verdict_evidence prov vnode ~judge ~suspect ~prov_info ~events =
+  if prov_info.excluded > 0 then
+    Prov.edge prov ~parent:vnode
+      ~child:
+        (Prov.defense prov ~kind:Prov.Exclude_suspect ~removed:prov_info.excluded ~judge ~suspect);
+  if prov_info.deduped > 0 then
+    Prov.edge prov ~parent:vnode
+      ~child:(Prov.defense prov ~kind:Prov.Vote_dedup ~removed:prov_info.deduped ~judge ~suspect);
+  List.iter (fun probe -> Prov.edge prov ~parent:vnode ~child:probe) prov_info.probes;
+  List.iter (fun event -> Prov.edge prov ~parent:vnode ~child:event) events
 
 (* Phase B: charge the verdict window and escalate to a formal accusation
    when it crosses m. Evidence past its re-verification TTL is expired
@@ -587,9 +672,12 @@ let evaluate_suspect t ~judge ~suspect ~links ~drop_time ~commitment =
    replicas. *)
 let verdict_label = function Blame.Guilty -> "guilty" | Blame.Innocent -> "innocent"
 
-let record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time ~episode =
+let record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time ~episode ~vnode =
   let metrics = t.obs.Obs.metrics in
   let trace = t.obs.Obs.trace in
+  let prov = t.obs.Obs.prov in
+  if vnode <> Prov.none then
+    Hashtbl.replace t.prov_verdicts (judge, suspect, Int64.bits_of_float drop_time) vnode;
   let window = window_for t ~judge ~suspect in
   Verdict_window.record window { Verdict_window.verdict; blame; drop_time; evidence };
   if Float.is_finite t.config.evidence_ttl then
@@ -661,6 +749,30 @@ let record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time ~epis
           Trace.instant trace ~time ~cat:"dht"
             ~args:[ ("judge", Trace.Int judge); ("suspect", Trace.Int suspect) ]
             "dht.put.failover"
+        end;
+        if Prov.enabled prov then begin
+          (* The formal accusation cites the primary verdict plus every
+             other guilty verdict in the window whose node is still known
+             (a judgment can predate provenance recording), and any DHT
+             failover its publication took. *)
+          let anode = Prov.accusation prov ~accuser:judge ~accused:suspect ~blame ~time:drop_time in
+          Prov.edge prov ~parent:anode ~child:vnode;
+          List.iter
+            (fun entry ->
+              (* Skip the evidence value being filed, by identity, exactly
+                 as the [supporting] filter above.  lint: allow physical-equality *)
+              if not (entry.Verdict_window.evidence == evidence) then begin
+                match
+                  Hashtbl.find_opt t.prov_verdicts
+                    (judge, suspect, Int64.bits_of_float entry.Verdict_window.drop_time)
+                with
+                | Some supporting_node -> Prov.edge prov ~parent:anode ~child:supporting_node
+                | None -> ()
+              end)
+            (Verdict_window.guilty_entries window);
+          if report.Dht.put_failed_over then
+            Prov.edge prov ~parent:anode
+              ~child:(Prov.failover prov ~kind:Prov.Dht_put ~node:judge ~time)
         end
     | exception Invalid_argument _ ->
         (* The archived evidence no longer clears the threshold (probe data
@@ -687,7 +799,8 @@ let fetch_accusations t ~from ~accused =
     Metrics.incr t.obs.Obs.metrics "dht.get_failovers";
     Trace.instant t.obs.Obs.trace ~time ~cat:"dht"
       ~args:[ ("reader", Trace.Int from); ("accused", Trace.Int accused) ]
-      "dht.get.failover"
+      "dht.get.failover";
+    ignore (Prov.failover t.obs.Obs.prov ~kind:Prov.Dht_get ~node:from ~time : Prov.node)
   end;
   report.Dht.accusations
 
@@ -727,6 +840,11 @@ let send_message t ~from ~dest ~payload ~on_outcome =
   ignore payload;
   let trace = t.obs.Obs.trace in
   let metrics = t.obs.Obs.metrics in
+  let prov = t.obs.Obs.prov in
+  (* Adversary tap firings and failovers on this message's path, newest
+     first; they become evidence children of every verdict the episode's
+     diagnosis produces. *)
+  let prov_events = ref [] in
   let message_id = fresh_message_id t ~from ~dest in
   let route = World.overlay_route t.world ~from ~dest in
   let route =
@@ -734,6 +852,10 @@ let send_message t ~from ~dest ~payload ~on_outcome =
     | None -> route
     | Some rewritten ->
         Metrics.incr metrics "adversary.route_rewrites";
+        if Prov.enabled prov then
+          prov_events :=
+            Prov.tap_firing prov ~kind:Prov.Route_rewrite ~node:from ~time:(Engine.now t.engine)
+            :: !prov_events;
         rewritten
   in
   let hops = Array.of_list route in
@@ -784,6 +906,9 @@ let send_message t ~from ~dest ~payload ~on_outcome =
         match t.taps.tap_forward ~time:now ~node:a ~sender:from ~next:b with
         | Some Tap_drop ->
             Metrics.incr metrics "adversary.forced_drops";
+            if Prov.enabled prov then
+              prov_events :=
+                Prov.tap_firing prov ~kind:Prov.Forced_drop ~node:a ~time:now :: !prov_events;
             false
         | Some Tap_forward -> true
         | None -> (
@@ -985,13 +1110,13 @@ let send_message t ~from ~dest ~payload ~on_outcome =
                       | None -> [||]
                     end
                   in
-                  let verdict, blame, evidence =
+                  let verdict, blame, evidence, prov_info =
                     let blame_span =
                       Trace.span_open trace ~time:jt ~cat:"blame" ~parent:episode
                         ~args:[ ("judge", Trace.Int a); ("suspect", Trace.Int b) ]
                         "blame.evaluate"
                     in
-                    let ((verdict, blame, _) as result) =
+                    let ((verdict, blame, _, _) as result) =
                       evaluate_suspect t ~judge:a ~suspect:b ~links:egress_links
                         ~drop_time ~commitment
                     in
@@ -1009,7 +1134,7 @@ let send_message t ~from ~dest ~payload ~on_outcome =
                        cover the window. Zero evidence defaults blame onto
                        the forwarder, so abstaining beats judging: degrade
                        to an explicit Insufficient_evidence outcome. *)
-                    if !starved = None then starved := Some (a, usable.(i))
+                    if !starved = None then starved := Some (a, b, usable.(i), blame, prov_info)
                   end
                   else begin
                     let target =
@@ -1019,7 +1144,7 @@ let send_message t ~from ~dest ~payload ~on_outcome =
                     in
                     Hashtbl.replace judgments a
                       { Stewardship.judge = a; target; blame; evidence_valid = true; pushed };
-                    pending := (a, b, verdict, blame, evidence) :: !pending
+                    pending := (a, b, verdict, blame, evidence, prov_info, usable.(i)) :: !pending
                   end
             end
           end
@@ -1031,6 +1156,14 @@ let send_message t ~from ~dest ~payload ~on_outcome =
         for i = hop_count - 2 downto 0 do
           if Hashtbl.mem judgments hops.(i) then anchor := Some hops.(i)
         done;
+        (* When the natural first judge (the sender) holds no judgment and
+           a downstream steward anchors the walk, the diagnosis survived a
+           steward failover — record it as episode evidence. *)
+        (match !anchor with
+        | Some first_judge when first_judge <> hops.(0) && Prov.enabled prov ->
+            prov_events :=
+              Prov.failover prov ~kind:Prov.Steward ~node:first_judge ~time:jt :: !prov_events
+        | Some _ | None -> ());
         let resolve_with ~first_judge =
           let resolve_span =
             Trace.span_open trace ~time:jt ~cat:"stewardship" ~parent:episode
@@ -1046,12 +1179,25 @@ let send_message t ~from ~dest ~payload ~on_outcome =
             resolve_span;
           resolution
         in
+        let episode_events = List.rev !prov_events in
         let diagnosis =
           match !anchor with
           | Some first_judge -> Diagnosed (resolve_with ~first_judge)
           | None -> (
               match (!starved, !no_commitment) with
-              | Some (judge, usable_rounds), None ->
+              | Some (judge, suspect, usable_rounds, starved_blame, prov_info), None ->
+                  (* An abstention is still a verdict with provenance: its
+                     chain shows what little evidence existed (often none,
+                     or votes a defense knob removed) and why replaying it
+                     through Blame would have been unsafe. *)
+                  if Prov.enabled prov then begin
+                    let vnode =
+                      Prov.verdict prov ~judge ~suspect ~kind:Prov.Insufficient
+                        ~exonerated:false ~usable_rounds ~blame:starved_blame ~drop_time
+                    in
+                    attach_verdict_evidence prov vnode ~judge ~suspect ~prov_info
+                      ~events:episode_events
+                  end;
                   Insufficient_evidence { judge; usable_rounds; required_rounds = required }
               | _ -> Diagnosed (resolve_with ~first_judge:hops.(0)))
         in
@@ -1065,13 +1211,32 @@ let send_message t ~from ~dest ~payload ~on_outcome =
           | Insufficient_evidence _ -> []
         in
         List.iter
-          (fun (judge, suspect, verdict, blame, evidence) ->
-            let verdict =
+          (fun (judge, suspect, verdict, blame, evidence, prov_info, usable_rounds) ->
+            let was_exonerated =
               match verdict with
-              | Blame.Guilty when List.mem suspect exonerated -> Blame.Innocent
-              | Blame.Guilty | Blame.Innocent -> verdict
+              | Blame.Guilty -> List.mem suspect exonerated
+              | Blame.Innocent -> false
             in
-            record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time ~episode)
+            let verdict = if was_exonerated then Blame.Innocent else verdict in
+            let vnode =
+              if not (Prov.enabled prov) then Prov.none
+              else begin
+                let kind =
+                  match verdict with
+                  | Blame.Guilty -> Prov.Guilty
+                  | Blame.Innocent -> Prov.Innocent
+                in
+                let vnode =
+                  Prov.verdict prov ~judge ~suspect ~kind ~exonerated:was_exonerated
+                    ~usable_rounds ~blame ~drop_time
+                in
+                attach_verdict_evidence prov vnode ~judge ~suspect ~prov_info
+                  ~events:episode_events;
+                vnode
+              end
+            in
+            record_judgment t ~judge ~suspect ~verdict ~blame ~evidence ~drop_time ~episode
+              ~vnode)
           (List.rev !pending);
         (* The blame.* family splits diagnosis outcomes so degraded episodes
            (insufficient evidence: nobody judged, nobody cleared) are never

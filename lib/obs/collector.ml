@@ -1,12 +1,15 @@
-type t = { trace : Trace.t; metrics : Metrics.t }
+module Graph = Concilium_provenance.Graph
 
-let create () = { trace = Trace.create (); metrics = Metrics.create () }
-let noop = { trace = Trace.noop; metrics = Metrics.noop }
-let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics
+type t = { trace : Trace.t; metrics : Metrics.t; prov : Graph.t }
+
+let create () = { trace = Trace.create (); metrics = Metrics.create (); prov = Graph.create () }
+let noop = { trace = Trace.noop; metrics = Metrics.noop; prov = Graph.noop }
+let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics || Graph.enabled t.prov
 let shards n = Array.init n (fun _ -> create ())
 
 let merge shards =
   {
     trace = Trace.merge (Array.map (fun shard -> shard.trace) shards);
     metrics = Metrics.merge (Array.map (fun shard -> shard.metrics) shards);
+    prov = Graph.merge (Array.map (fun shard -> shard.prov) shards);
   }

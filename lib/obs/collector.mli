@@ -7,13 +7,17 @@
     record into its own collector, then {!merge} in fixed shard order: the
     merged trace and metrics are byte-identical for any domain count. *)
 
-type t = { trace : Trace.t; metrics : Metrics.t }
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+  prov : Concilium_provenance.Graph.t;  (** causal evidence DAG behind verdicts *)
+}
 
 val create : unit -> t
-(** A recording trace + metrics pair. *)
+(** A recording trace + metrics + provenance triple. *)
 
 val noop : t
-(** The no-op pair: instrumentation behind it costs one branch. *)
+(** The no-op triple: instrumentation behind it costs one branch. *)
 
 val enabled : t -> bool
 
@@ -22,4 +26,4 @@ val shards : int -> t array
 
 val merge : t array -> t
 (** Merge per-shard collectors in index order ({!Trace.merge},
-    {!Metrics.merge}). *)
+    {!Metrics.merge}, {!Concilium_provenance.Graph.merge}). *)

@@ -6,9 +6,11 @@
     bound to one kind on first use and misuse raises [Invalid_argument].
 
     Histograms are log2-bucketed (bucket i counts observations in
-    [2^i, 2^(i+1)), values below 1 clamp into bucket 0) and reuse
+    [2^i, 2^(i+1)), values below 2 clamp into bucket 0) and reuse
     {!Concilium_stats.Histogram} over log space, so bucket counts merge
-    exactly. Snapshots list every section sorted by name — the output never
+    exactly. Bucketing goes through [Float.frexp], not libm's [log2], so
+    an exact power of two 2^i always opens bucket i on every host.
+    Snapshots list every section sorted by name — the output never
     depends on hash-table iteration order or insertion order. *)
 
 type t
@@ -18,7 +20,8 @@ val noop : t
 val enabled : t -> bool
 
 val incr : t -> ?by:int -> string -> unit
-(** Add to a counter (default 1), creating it at zero on first use. *)
+(** Add to a counter (default 1), creating it at zero on first use.
+    Allocation-free once the counter exists — safe on hot paths. *)
 
 val set : t -> string -> float -> unit
 (** Set a gauge to the given value. *)
@@ -32,6 +35,12 @@ val counter : t -> string -> int
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+val copy : t -> t
+(** Deep copy: counters, gauges and histogram buckets are duplicated so
+    later mutation of [t] leaves the copy untouched. A disabled registry
+    copies to a disabled registry. Used by {!Timeseries} to freeze
+    epoch snapshots. *)
+
 val merge : t array -> t
 (** Fold per-shard registries in index order: counters and histogram
     buckets sum (order-independent), a gauge takes the value of the last
@@ -43,3 +52,9 @@ val snapshot_json : ?time:float -> t -> string
     ["histograms"] objects with names sorted; histogram buckets are labelled
     by their lower bound ("2^i"). Byte-identical across runs for identical
     metric contents. *)
+
+val snapshot_fields : t -> string
+(** The same three sections as {!snapshot_json} rendered compactly on a
+    single line without the enclosing braces —
+    ["counters": {...}, "gauges": {...}, "histograms": {...}] — for
+    embedding into a time-series JSONL record. *)

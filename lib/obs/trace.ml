@@ -19,15 +19,82 @@ type t = {
   mutable records : record list; (* newest first *)
   mutable length : int;
   mutable next_id : int;
+  mutable tap : (string -> unit) option;
 }
 
-let create () = { recording = true; records = []; length = 0; next_id = 1 }
-let noop = { recording = false; records = []; length = 0; next_id = 1 }
+let create () = { recording = true; records = []; length = 0; next_id = 1; tap = None }
+let noop = { recording = false; records = []; length = 0; next_id = 1; tap = None }
 let enabled t = t.recording
+
+let set_tap t f = if t.recording then t.tap <- Some f
+
+(* ---------- Per-record JSONL rendering ----------
+
+   Shared by the batch [jsonl] export and the streaming tap, so a flight
+   recorder's ring holds exactly the lines a full dump would contain. *)
+
+let add_escaped buf s = Buffer.add_string buf (Printf.sprintf "%S" s)
+
+let add_value buf value =
+  match value with
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.6f" f)
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | String s -> add_escaped buf s
+
+let add_args buf args =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (key, value) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      add_escaped buf key;
+      Buffer.add_string buf ": ";
+      add_value buf value)
+    args;
+  Buffer.add_char buf '}'
+
+let add_record_line buf record =
+  match record with
+  | Instant { time; name; cat; span; args } ->
+      Buffer.add_string buf (Printf.sprintf {|{"t": %.6f, "ph": "instant", "name": |} time);
+      add_escaped buf name;
+      Buffer.add_string buf {|, "cat": |};
+      add_escaped buf cat;
+      if span <> none then Buffer.add_string buf (Printf.sprintf {|, "span": %d|} span);
+      if args <> [] then begin
+        Buffer.add_string buf {|, "args": |};
+        add_args buf args
+      end;
+      Buffer.add_char buf '}'
+  | Open { time; name; cat; id; parent; args } ->
+      Buffer.add_string buf
+        (Printf.sprintf {|{"t": %.6f, "ph": "open", "id": %d, "name": |} time id);
+      add_escaped buf name;
+      Buffer.add_string buf {|, "cat": |};
+      add_escaped buf cat;
+      if parent <> none then Buffer.add_string buf (Printf.sprintf {|, "parent": %d|} parent);
+      if args <> [] then begin
+        Buffer.add_string buf {|, "args": |};
+        add_args buf args
+      end;
+      Buffer.add_char buf '}'
+  | Close { time; id; args } ->
+      Buffer.add_string buf (Printf.sprintf {|{"t": %.6f, "ph": "close", "id": %d|} time id);
+      if args <> [] then begin
+        Buffer.add_string buf {|, "args": |};
+        add_args buf args
+      end;
+      Buffer.add_char buf '}'
 
 let push t record =
   t.records <- record :: t.records;
-  t.length <- t.length + 1
+  t.length <- t.length + 1;
+  match t.tap with
+  | None -> ()
+  | Some f ->
+      let buf = Buffer.create 96 in
+      add_record_line buf record;
+      f (Buffer.contents buf)
 
 let instant t ~time ?(cat = "event") ?(span = none) ?(args = []) name =
   if t.recording then push t (Instant { time; name; cat; span; args })
@@ -142,29 +209,9 @@ let completed_spans t =
     (records t);
   List.rev !spans
 
-(* ---------- Export ---------- *)
+(* ---------- Export ----------
 
-let add_escaped buf s = Buffer.add_string buf (Printf.sprintf "%S" s)
-
-let add_value buf value =
-  match value with
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> Buffer.add_string buf (Printf.sprintf "%.6f" f)
-  | Bool b -> Buffer.add_string buf (string_of_bool b)
-  | String s -> add_escaped buf s
-
-let add_args buf args =
-  Buffer.add_char buf '{';
-  List.iteri
-    (fun i (key, value) ->
-      if i > 0 then Buffer.add_string buf ", ";
-      add_escaped buf key;
-      Buffer.add_string buf ": ";
-      add_value buf value)
-    args;
-  Buffer.add_char buf '}'
-
-(* A close record carries no category of its own; it inherits its open's,
+   A close record carries no category of its own; it inherits its open's,
    so a category filter keeps open/close pairs together. *)
 let cat_of_close t =
   let cats = Hashtbl.create 64 in
@@ -179,46 +226,18 @@ let cat_of_close t =
 let jsonl ?(filter = fun _ -> true) t =
   let buf = Buffer.create 4096 in
   let close_info = cat_of_close t in
+  let keep record =
+    match record with
+    | Instant { cat; _ } | Open { cat; _ } -> filter cat
+    | Close { id; _ } -> (
+        match close_info id with Some (cat, _) -> filter cat | None -> true)
+  in
   List.iter
     (fun record ->
-      match record with
-      | Instant { time; name; cat; span; args } ->
-          if filter cat then begin
-            Buffer.add_string buf (Printf.sprintf {|{"t": %.6f, "ph": "instant", "name": |} time);
-            add_escaped buf name;
-            Buffer.add_string buf {|, "cat": |};
-            add_escaped buf cat;
-            if span <> none then Buffer.add_string buf (Printf.sprintf {|, "span": %d|} span);
-            if args <> [] then begin
-              Buffer.add_string buf {|, "args": |};
-              add_args buf args
-            end;
-            Buffer.add_string buf "}\n"
-          end
-      | Open { time; name; cat; id; parent; args } ->
-          if filter cat then begin
-            Buffer.add_string buf
-              (Printf.sprintf {|{"t": %.6f, "ph": "open", "id": %d, "name": |} time id);
-            add_escaped buf name;
-            Buffer.add_string buf {|, "cat": |};
-            add_escaped buf cat;
-            if parent <> none then Buffer.add_string buf (Printf.sprintf {|, "parent": %d|} parent);
-            if args <> [] then begin
-              Buffer.add_string buf {|, "args": |};
-              add_args buf args
-            end;
-            Buffer.add_string buf "}\n"
-          end
-      | Close { time; id; args } -> (
-          match close_info id with
-          | Some (cat, _) when not (filter cat) -> ()
-          | Some _ | None ->
-              Buffer.add_string buf (Printf.sprintf {|{"t": %.6f, "ph": "close", "id": %d|} time id);
-              if args <> [] then begin
-                Buffer.add_string buf {|, "args": |};
-                add_args buf args
-              end;
-              Buffer.add_string buf "}\n"))
+      if keep record then begin
+        add_record_line buf record;
+        Buffer.add_char buf '\n'
+      end)
     (records t);
   Buffer.contents buf
 

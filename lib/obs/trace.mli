@@ -35,6 +35,12 @@ val noop : t
 
 val enabled : t -> bool
 
+val set_tap : t -> (string -> unit) -> unit
+(** Stream every subsequent record to [f] as its JSONL line (no trailing
+    newline) the moment it is pushed — the flight recorder's feed. The
+    streamed lines are byte-identical to the unfiltered {!jsonl} lines.
+    No-op on a disabled sink. *)
+
 val instant : t -> time:float -> ?cat:string -> ?span:span -> ?args:args -> string -> unit
 (** Record a point event. [span] attaches it to an open span (stage markers
     inside a diagnosis episode); default unattached. [cat] defaults to

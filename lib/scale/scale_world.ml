@@ -11,6 +11,9 @@
 module Prng = Concilium_util.Prng
 module Pool = Concilium_util.Pool
 module Hashing = Concilium_util.Hashing
+module Collector = Concilium_obs.Collector
+module Trace = Concilium_obs.Trace
+module Metrics = Concilium_obs.Metrics
 module Churn = Concilium_netsim.Churn
 module Id = Concilium_overlay.Id
 module Ring = Concilium_overlay.Ring
@@ -196,17 +199,32 @@ let route_once t rng =
 
 (* Task [i] writes only slot [i] and draws only from rngs.(i), pre-split
    before dispatch: bit-identical across domain counts. *)
-let run_episode ?pool t ~episode ~routes =
+let run_episode ?pool ?(obs = Collector.noop) t ~episode ~routes =
   let rngs = Prng.split_n (episode_rng t ~episode) routes in
   let results = Pool.parallel_init ?pool routes ~f:(fun i -> route_once t rngs.(i)) in
+  (* Observability happens only in this sequential aggregation pass, after
+     the fan-out has joined: workers never touch the sinks, so the trace
+     and metrics stay byte-identical for every domain count. *)
+  let span =
+    Trace.span_open obs.Collector.trace ~time:t.clock ~cat:"episode"
+      ~args:[ ("episode", Trace.Int episode); ("routes", Trace.Int routes) ]
+      "scale.episode"
+  in
+  let metrics = obs.Collector.metrics in
   let delivered = ref 0 and total_hops = ref 0 in
   let digest = ref (Hashing.fnv1a "scale-episode-digest") in
   Array.iter
     (fun (hops, ok, route_digest) ->
       if ok then incr delivered;
       total_hops := !total_hops + hops;
+      Metrics.observe metrics "scale.route_hops" (float_of_int hops);
       digest := Hashing.fnv1a_int !digest route_digest)
     results;
+  Metrics.incr metrics ~by:routes "scale.routes";
+  Metrics.incr metrics ~by:!delivered "scale.delivered";
+  Trace.span_close obs.Collector.trace ~time:t.clock
+    ~args:[ ("delivered", Trace.Int !delivered); ("hops", Trace.Int !total_hops) ]
+    span;
   { routes; delivered = !delivered; total_hops = !total_hops; digest = !digest }
 
 (* ---------- checksums and transcript lines ---------- *)

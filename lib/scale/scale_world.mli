@@ -73,10 +73,21 @@ type episode_result = {
 }
 
 val run_episode :
-  ?pool:Concilium_util.Pool.t -> t -> episode:int -> routes:int -> episode_result
+  ?pool:Concilium_util.Pool.t ->
+  ?obs:Concilium_obs.Collector.t ->
+  t ->
+  episode:int ->
+  routes:int ->
+  episode_result
 (** Route [routes] random lookups from random alive sources. PRNGs are
     pre-split per route before dispatch and task [i] writes only slot [i]:
-    results are bit-identical for every domain count. *)
+    results are bit-identical for every domain count.
+
+    When [obs] records, the episode is logged as one trace span (category
+    ["episode"], at the world's virtual clock) plus [scale.routes] /
+    [scale.delivered] counters and a [scale.route_hops] histogram — all in
+    the sequential aggregation pass after the fan-out joins, so the sinks
+    stay byte-identical for every domain count. *)
 
 val membership_checksum : t -> int64
 val state_checksum : t -> int64

@@ -1,3 +1,5 @@
+module Graph = Concilium_provenance.Graph
+
 type plan = {
   members : int array;
   individual_links : int;
@@ -34,7 +36,7 @@ type consensus = {
   unanimous : bool;
 }
 
-let consolidate reports =
+let consolidate ?(prov = Graph.noop) reports =
   (* One vote per (member, link), latest report winning — so a member
      stuffing duplicate corroborating reports moves nothing. *)
   let votes = Hashtbl.create 64 in
@@ -60,15 +62,35 @@ let consolidate reports =
   List.map
     (fun link ->
       let up_votes, down_votes = Hashtbl.find by_link link in
-      {
-        link;
-        (* Ties resolve down: a split collective treats the link as
-           suspect and re-probes rather than vouching for it. *)
-        up = up_votes > down_votes;
-        up_votes;
-        down_votes;
-        unanimous = up_votes = 0 || down_votes = 0;
-      })
+      let consensus =
+        {
+          link;
+          (* Ties resolve down: a split collective treats the link as
+             suspect and re-probes rather than vouching for it. *)
+          up = up_votes > down_votes;
+          up_votes;
+          down_votes;
+          unanimous = up_votes = 0 || down_votes = 0;
+        }
+      in
+      (* Each consensus joins the provenance DAG with the counted votes as
+         probe children (in first-report member order — the counting
+         order), so a verdict leaning on shared tomography can show which
+         member claimed what. *)
+      if Graph.enabled prov then begin
+        let cnode =
+          Graph.consolidation prov ~link ~up:consensus.up ~up_votes ~down_votes
+        in
+        List.iter
+          (fun ((member, l) as key) ->
+            if l = link then
+              Graph.edge prov ~parent:cnode
+                ~child:
+                  (Graph.probe prov ~prober:member ~link ~time:0.
+                     ~up:(Hashtbl.find votes key) ~tapped:false ~forged:false))
+          (List.rev !order)
+      end;
+      consensus)
     links
 
 let individual_bytes plan ~per_tree_bytes =

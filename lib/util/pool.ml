@@ -15,6 +15,23 @@
    (see Prng.split), which makes output bit-identical for any domain count,
    including the inline [domains = 1] path. *)
 
+(* Per-slot activity accounting. Slot 0 is the submitting domain, slots
+   1..domains-1 the spawned workers; each slot is written only by its own
+   domain, so the counters need no locking. The times are wall-clock —
+   they never feed back into simulation state, they only attribute where
+   real time went (bench --json "pool" section; ROADMAP item 2).
+   lint: allow wall-clock *)
+let now () = Unix.gettimeofday ()
+
+type slot = {
+  mutable busy_s : float;  (* running task bodies *)
+  mutable idle_s : float;  (* blocked waiting for a job / for completion *)
+  mutable steal_wait_s : float;  (* contending on the chunk queue *)
+  mutable chunks : int;  (* chunks executed *)
+}
+
+type worker_stats = { worker : int; busy_s : float; idle_s : float; steal_wait_s : float; chunks : int }
+
 type job = {
   size : int;
   chunk : int;
@@ -34,6 +51,7 @@ type t = {
   mutable workers : unit Domain.t list;
   mutable active : int list;  (* (Domain.id :> int) of domains inside a chunk *)
   domain_count : int;
+  slots : slot array;  (* per-domain activity counters, index 0 = submitter *)
 }
 
 let domain_count t = t.domain_count
@@ -57,12 +75,16 @@ let take_chunk job =
    chunks already in flight on other domains finish on their own. Only one
    job is ever in flight, so when its live count reaches zero the installed
    job is necessarily this one and can be cleared. *)
-let run_chunk t job lo hi =
+let run_chunk t ~slot job lo hi =
   let self = (Domain.self () :> int) in
   Mutex.lock t.mutex;
   t.active <- self :: t.active;
   Mutex.unlock t.mutex;
+  let started = now () in
   let outcome = try Ok (job.run lo hi) with e -> Error e in
+  let s = t.slots.(slot) in
+  s.busy_s <- s.busy_s +. (now () -. started);
+  s.chunks <- s.chunks + 1;
   Mutex.lock t.mutex;
   t.active <- List.filter (fun id -> id <> self) t.active;
   (match outcome with
@@ -78,26 +100,34 @@ let run_chunk t job lo hi =
   end;
   Mutex.unlock t.mutex
 
-(* Grab and run chunks until the job's queue is exhausted. *)
-let drain t job =
+(* Grab and run chunks until the job's queue is exhausted. Time spent
+   acquiring the queue lock is the steal-wait: with too-fine chunks many
+   domains hammer the same mutex and this counter shows it. *)
+let drain t ~slot job =
   let continue = ref true in
   while !continue do
+    let started = now () in
     Mutex.lock t.mutex;
     let chunk = take_chunk job in
     Mutex.unlock t.mutex;
+    let s = t.slots.(slot) in
+    s.steal_wait_s <- s.steal_wait_s +. (now () -. started);
     match chunk with
-    | Some (lo, hi) -> run_chunk t job lo hi
+    | Some (lo, hi) -> run_chunk t ~slot job lo hi
     | None -> continue := false
   done
 
-let worker_loop t () =
+let worker_loop t ~slot () =
   let seen_generation = ref 0 in
   let running = ref true in
   while !running do
+    let started = now () in
     Mutex.lock t.mutex;
     while t.generation = !seen_generation && not t.shutting_down do
       Condition.wait t.work_ready t.mutex
     done;
+    let s = t.slots.(slot) in
+    s.idle_s <- s.idle_s +. (now () -. started);
     if t.shutting_down then begin
       Mutex.unlock t.mutex;
       running := false
@@ -106,7 +136,7 @@ let worker_loop t () =
       seen_generation := t.generation;
       let job = t.job in
       Mutex.unlock t.mutex;
-      match job with Some job -> drain t job | None -> ()
+      match job with Some job -> drain t ~slot job | None -> ()
     end
   done
 
@@ -126,11 +156,15 @@ let create ?domains () =
       workers = [];
       active = [];
       domain_count = domains;
+      slots =
+        Array.init domains (fun _ ->
+            { busy_s = 0.; idle_s = 0.; steal_wait_s = 0.; chunks = 0 });
     }
   in
   (* The submitter participates, so [domains - 1] spawned workers give
-     [domains] executing domains in total. *)
-  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (worker_loop t));
+     [domains] executing domains in total. Worker i owns slot i + 1;
+     slot 0 belongs to the submitting domain. *)
+  t.workers <- List.init (domains - 1) (fun i -> Domain.spawn (worker_loop t ~slot:(i + 1)));
   t
 
 let shutdown t =
@@ -186,12 +220,15 @@ let pooled_init t n ~f =
   t.generation <- t.generation + 1;
   Condition.broadcast t.work_ready;
   Mutex.unlock t.mutex;
-  drain t job;
+  drain t ~slot:0 job;
+  let wait_started = now () in
   Mutex.lock t.mutex;
   while job.live > 0 do
     Condition.wait t.progress t.mutex
   done;
   Mutex.unlock t.mutex;
+  let s = t.slots.(0) in
+  s.idle_s <- s.idle_s +. (now () -. wait_started);
   raise_first_failure job;
   Array.map
     (function
@@ -210,3 +247,21 @@ let parallel_init ?pool n ~f =
       else pooled_init t n ~f
 
 let parallel_map ?pool xs ~f = parallel_init ?pool (Array.length xs) ~f:(fun i -> f xs.(i))
+
+(* ---------- Activity stats ---------- *)
+
+let stats t =
+  Array.to_list
+    (Array.mapi
+       (fun i (s : slot) ->
+         { worker = i; busy_s = s.busy_s; idle_s = s.idle_s; steal_wait_s = s.steal_wait_s; chunks = s.chunks })
+       t.slots)
+
+let reset_stats t =
+  Array.iter
+    (fun (s : slot) ->
+      s.busy_s <- 0.;
+      s.idle_s <- 0.;
+      s.steal_wait_s <- 0.;
+      s.chunks <- 0)
+    t.slots

@@ -47,3 +47,22 @@ val parallel_init : ?pool:t -> int -> f:(int -> 'a) -> 'a array
 val parallel_map : ?pool:t -> 'a array -> f:('a -> 'b) -> 'b array
 (** [parallel_map ?pool xs ~f] maps [f] over [xs] with the same semantics as
     {!parallel_init}; [f xs.(i)] lands at slot [i]. *)
+
+type worker_stats = {
+  worker : int;  (** slot index; 0 is the submitting domain *)
+  busy_s : float;  (** wall seconds inside task bodies *)
+  idle_s : float;  (** wall seconds parked waiting for work or completion *)
+  steal_wait_s : float;  (** wall seconds contending on the chunk queue *)
+  chunks : int;  (** chunks executed *)
+}
+
+val stats : t -> worker_stats list
+(** Cumulative per-domain activity since creation (or {!reset_stats}), in
+    slot order. The times are wall-clock and exist only to attribute where
+    real time went (they never influence results); a worker's idle time is
+    booked when its wait ends, so a snapshot taken while workers are parked
+    under-counts their current idle stretch. Read between fan-outs for
+    consistent numbers. *)
+
+val reset_stats : t -> unit
+(** Zero all counters, e.g. after warmup runs. *)

@@ -4,5 +4,5 @@ let () =
    @ Test_netsim.suites @ Test_chaos.suites @ Test_overlay.suites @ Test_tomography.suites @ Test_core.suites
    @ Test_protocol.suites @ Test_reputation.suites @ Test_adversary.suites
    @ Test_experiments.suites
-   @ Test_lint.suites @ Test_obs.suites @ Test_check.suites @ Test_analysis.suites
-   @ Test_scale.suites)
+   @ Test_lint.suites @ Test_obs.suites @ Test_provenance.suites @ Test_check.suites
+   @ Test_analysis.suites @ Test_scale.suites)
