@@ -126,13 +126,18 @@ let bandwidth_bench =
   Test.make ~name:"sec4.4:bandwidth-model"
     (Staged.stage @@ fun () -> ignore (Bandwidth.report Bandwidth.paper_params))
 
+(* Batched x10 over spread drop times: one Eq. 2 evaluation is too short
+   for a trustworthy per-run fit (the un-batched version measured r² < 0),
+   and the fixture is forced before measurement (see [force_fixtures]). *)
 let blame_eq2_bench =
-  Test.make ~name:"core:blame-equation-2"
+  Test.make ~name:"core:blame-equation-2-x10"
     (Staged.stage @@ fun () ->
      let store = Lazy.force observation_fixture in
-     ignore
-       (Blame.blame Blame.paper_config ~observations:store ~links:[| 1; 2; 3; 4; 5 |]
-          ~drop_time:3600. ~exclude_prober:0 ()))
+     for i = 1 to 10 do
+       ignore
+         (Blame.blame Blame.paper_config ~observations:store ~links:[| 1; 2; 3; 4; 5 |]
+            ~drop_time:(600. *. float_of_int i) ~exclude_prober:0 ())
+     done)
 
 let minc_bench =
   Test.make ~name:"tomography:minc-inference-100-rounds"
@@ -188,21 +193,41 @@ let minc_reference_bench =
 
 (* End-to-end figure regeneration, sequential vs the domain pool. On a
    single-core host the pool degrades to the inline path, so the pair also
-   doubles as a pool-overhead check. *)
+   doubles as a pool-overhead check. Trials are 8 per size so the largest
+   size splits into 8 tasks — with 4 the four big tasks cap the pool's
+   ideal speedup near 6x on 8 domains; with 8 the cap is comfortably
+   above it. *)
 let fig1_sizes = [| 128; 256; 512; 1024 |]
+let fig1_trials = 8
 
 let fig1_e2e_sequential_bench =
   Test.make ~name:"experiments:fig1-end-to-end-sequential"
     (Staged.stage @@ fun () ->
-     ignore (E.Fig1.run ~seed:2025L ~sizes:fig1_sizes ~trials:4 ()))
+     ignore (E.Fig1.run ~seed:2025L ~sizes:fig1_sizes ~trials:fig1_trials ()))
 
-let shared_pool = lazy (Pool.create ())
+(* Sized from --domains when given, else the host's core count. *)
+let requested_domains = ref None
+let shared_pool = lazy (Pool.create ?domains:!requested_domains ())
 
 let fig1_e2e_pool_bench =
   Test.make ~name:"experiments:fig1-end-to-end-pool"
     (Staged.stage @@ fun () ->
      let pool = Lazy.force shared_pool in
-     ignore (E.Fig1.run ~pool ~seed:2025L ~sizes:fig1_sizes ~trials:4 ()))
+     ignore (E.Fig1.run ~pool ~seed:2025L ~sizes:fig1_sizes ~trials:fig1_trials ()))
+
+(* Pool-scaling microbenches: dispatch cost of a fan-out whose tasks are
+   nearly free. The per-run estimate is the scheduling overhead the
+   work-stealing pool adds on top of Array.init — claim cadence, steal
+   scans, and the submit/join handshake. *)
+let pool_fanout_bench =
+  Test.make ~name:"pool:fanout-256-trivial-tasks"
+    (Staged.stage @@ fun () ->
+     let pool = Lazy.force shared_pool in
+     ignore (Pool.parallel_init ~pool 256 ~f:(fun i -> i * i)))
+
+let pool_fanout_inline_bench =
+  Test.make ~name:"pool:fanout-256-trivial-tasks-inline"
+    (Staged.stage @@ fun () -> ignore (Pool.parallel_init 256 ~f:(fun i -> i * i)))
 
 let pastry_route_bench =
   Test.make ~name:"overlay:pastry-route"
@@ -230,12 +255,16 @@ let chord_fixture =
      let ids = Array.init 500 (fun _ -> Id.random rng) in
      Concilium_overlay.Chord.build ids)
 
+(* Batched x16 over a fixed dest sequence: one jump-table route is a few
+   microseconds, short enough that the un-batched fit measured r² < 0. *)
 let chord_route_bench =
-  Test.make ~name:"overlay:chord-route"
+  Test.make ~name:"overlay:chord-route-x16"
     (Staged.stage @@ fun () ->
      let overlay = Lazy.force chord_fixture in
      let rng = Prng.of_seed 11L in
-     ignore (Concilium_overlay.Chord.route overlay ~from:0 ~dest:(Id.random rng)))
+     for _ = 1 to 16 do
+       ignore (Concilium_overlay.Chord.route overlay ~from:0 ~dest:(Id.random rng))
+     done)
 
 let chord_route_reference_bench =
   Test.make ~name:"overlay:chord-route-reference"
@@ -299,7 +328,22 @@ let chaos_bench =
 
 let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
 
+(* Force every heavy fixture before any measurement starts. Lazy fixtures
+   forced from inside a staged closure bill their construction to the first
+   measured run — an outlier large enough to drive the OLS fit's r² negative
+   (core:blame-equation-2 and overlay:chord-route both exhibited this). *)
+let force_fixtures () =
+  profiled "bench.fixtures" (fun () ->
+      ignore (Lazy.force world);
+      ignore (Lazy.force blame_world);
+      ignore (Lazy.force minc_fixture);
+      ignore (Lazy.force observation_fixture);
+      ignore (Lazy.force minc_large_fixture);
+      ignore (Lazy.force chord_fixture);
+      ignore (Lazy.force shared_pool))
+
 let benchmark () =
+  force_fixtures ();
   let tests =
     [
       fig1_bench;
@@ -315,6 +359,8 @@ let benchmark () =
       minc_reference_bench;
       fig1_e2e_sequential_bench;
       fig1_e2e_pool_bench;
+      pool_fanout_bench;
+      pool_fanout_inline_bench;
       pastry_route_bench;
       secure_table_bench;
       sha256_bench;
@@ -397,11 +443,11 @@ let json_of_results results =
   let pool_stats = if Lazy.is_val shared_pool then Pool.stats (Lazy.force shared_pool) else [] in
   add "  \"pool\": [\n";
   List.iteri
-    (fun i { Pool.worker; busy_s; idle_s; steal_wait_s; chunks } ->
+    (fun i { Pool.worker; busy_s; idle_s; steal_wait_s; chunks; steals; empty_scans; wakeups } ->
       add
         "    { \"worker\": %d, \"busy_s\": %.6f, \"idle_s\": %.6f, \"steal_wait_s\": %.6f, \
-         \"chunks\": %d }%s\n"
-        worker busy_s idle_s steal_wait_s chunks
+         \"chunks\": %d, \"steals\": %d, \"empty_scans\": %d, \"wakeups\": %d }%s\n"
+        worker busy_s idle_s steal_wait_s chunks steals empty_scans wakeups
         (if i = List.length pool_stats - 1 then "" else ","))
     pool_stats;
   add "  ]\n}\n";
@@ -428,20 +474,123 @@ let render_guards rows =
         if n >= s && String.sub name (n - s) s = suffix then Some (ns, r2) else None)
       rows
   in
-  match (find "overlay:chord-route", find "overlay:chord-route-reference") with
-  | Some (fast, fast_r2), Some (reference, ref_r2) ->
+  match (find "overlay:chord-route-x16", find "overlay:chord-route-reference") with
+  | Some (batch, fast_r2), Some (reference, ref_r2) ->
+      (* The fast bench routes 16 times per run (batched for fit quality),
+         the reference routes once: compare amortised per-route cost. The
+         O(log n) jump table must beat the linear-scan baseline. *)
+      let fast = batch /. 16. in
       let ratio = if reference > 0. then fast /. reference else Float.infinity in
       let confident = not (low_confidence fast_r2 || low_confidence ref_r2) in
       let ok = ratio <= 1.0 || not confident in
-      Printf.printf "guard chord-route <= reference: %.1f vs %.1f ns/run (%.2fx) %s\n" fast
+      Printf.printf "guard chord-route-x16 <= reference: %.1f vs %.1f ns/run (%.2fx) %s\n" fast
         reference ratio
         (if ratio <= 1.0 then if confident then "ok" else "ok (low confidence)"
          else if not confident then "skipped (low confidence)"
          else "FAILED");
       ok
   | _ ->
-      print_endline "guard chord-route <= reference: benchmarks missing, FAILED";
+      print_endline "guard chord-route-x16 <= reference: benchmarks missing, FAILED";
       false
+
+(* A negative r² is worse than low confidence: the fit is anti-correlated
+   with the run count, i.e. the benchmark harness itself is broken (cold
+   fixture, quota too small for the workload). That is a bug in this file,
+   not a property of the host, so it fails the run in every mode. *)
+let check_no_negative_r2 rows =
+  let negative = List.filter (fun (_, _, r2) -> r2 < 0.) rows in
+  List.iter
+    (fun (name, ns, r2) ->
+      Printf.eprintf "NEGATIVE r_square %-45s %10.1f ns/run (r_square=%.4f)\n" name ns r2)
+    negative;
+  if negative <> [] then begin
+    Printf.eprintf
+      "%d estimate(s) have r_square < 0: the fit is invalid (setup cost inside the measured \
+       closure?). Failing.\n"
+      (List.length negative);
+    false
+  end
+  else true
+
+(* ---------- Multicore speedup curve (--multicore FILE) ----------
+
+   Not a bechamel bench: wall-clocks the full fig1 pipeline sequentially and
+   under pools of 1/2/4/8 domains, median of five runs each, and emits a
+   BENCH_multicore.json document. Verifies pooled output structurally equals
+   the sequential reference (the pool's byte-identity contract), and with
+   --assert-speedup X exits nonzero unless the best pooled run beats the
+   sequential one by at least X — CI runs this as the bench-multicore smoke
+   test. *)
+let multicore_domains = [ 1; 2; 4; 8 ]
+let multicore_reps = 5
+
+let multicore ~out ~assert_speedup =
+  let run_fig1 ?pool () = E.Fig1.run ?pool ~seed:2025L ~sizes:fig1_sizes ~trials:fig1_trials () in
+  let median times =
+    let sorted = List.sort compare times in
+    List.nth sorted (List.length sorted / 2)
+  in
+  let sample f =
+    let result = ref None in
+    let times =
+      List.init multicore_reps (fun _ ->
+          let t0 = Raw_clock.now () in
+          result := Some (f ());
+          Int64.to_float (Int64.sub (Raw_clock.now ()) t0) /. 1e9)
+    in
+    (Option.get !result, median times)
+  in
+  let reference, sequential_s = sample (fun () -> run_fig1 ()) in
+  let curve =
+    List.map
+      (fun domains ->
+        Pool.with_pool ~domains (fun pool ->
+            let result, s = sample (fun () -> run_fig1 ~pool ()) in
+            if result <> reference then begin
+              Printf.eprintf
+                "multicore: fig1 output under --domains %d differs from sequential output\n"
+                domains;
+              exit 1
+            end;
+            (domains, s, sequential_s /. s)))
+      multicore_domains
+  in
+  let best_speedup = List.fold_left (fun acc (_, _, sp) -> Float.max acc sp) 0. curve in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.bprintf buf fmt in
+  add "{\n";
+  add "  \"host\": { \"cores\": %d, \"ocaml\": %S },\n" (Pool.default_domains ()) Sys.ocaml_version;
+  add "  \"workload\": \"fig1 end-to-end, sizes [128;256;512;1024], trials %d, median of %d runs\",\n"
+    fig1_trials multicore_reps;
+  add "  \"sequential_s\": %.6f,\n" sequential_s;
+  add "  \"curve\": [\n";
+  List.iteri
+    (fun i (domains, s, speedup) ->
+      add "    { \"domains\": %d, \"s\": %.6f, \"speedup\": %.3f }%s\n" domains s speedup
+        (if i = List.length curve - 1 then "" else ","))
+    curve;
+  add "  ],\n";
+  add "  \"best_speedup\": %.3f\n}\n" best_speedup;
+  let document = Buffer.contents buf in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc document);
+      Printf.printf "multicore json -> %s\n" path
+  | None -> print_string document);
+  List.iter
+    (fun (domains, s, speedup) ->
+      Printf.printf "domains=%d  %.3fs  (%.2fx vs sequential %.3fs)\n" domains s speedup
+        sequential_s)
+    curve;
+  match assert_speedup with
+  | Some threshold when best_speedup < threshold ->
+      Printf.eprintf "ASSERT-SPEEDUP FAILED: best pooled speedup %.2fx < required %.2fx\n"
+        best_speedup threshold;
+      exit 1
+  | Some threshold ->
+      Printf.printf "assert-speedup ok: best %.2fx >= %.2fx\n" best_speedup threshold
+  | None -> ()
 
 let render_table results =
   let open Bechamel_notty in
@@ -458,24 +607,47 @@ let () =
   (* --json prints the JSON document to stdout (historical behaviour, but
      it interleaves with dune's progress output when run via `dune exec`);
      --out FILE writes the same document to FILE and keeps stdout
-     human-readable. *)
+     human-readable. --domains N sizes the shared pool (default: host core
+     count). --multicore FILE skips the bechamel benches and writes the
+     sequential-vs-pool speedup curve instead; --assert-speedup X makes it
+     exit nonzero below X. *)
   let json = Array.exists (String.equal "--json") Sys.argv in
   let out = ref None in
+  let multicore_out = ref None in
+  let multicore_mode = ref false in
+  let assert_speedup = ref None in
   Array.iteri
-    (fun i arg -> if arg = "--out" && i + 1 < Array.length Sys.argv then out := Some Sys.argv.(i + 1))
+    (fun i arg ->
+      let value () = if i + 1 < Array.length Sys.argv then Some Sys.argv.(i + 1) else None in
+      match arg with
+      | "--out" -> out := value ()
+      | "--domains" ->
+          requested_domains := Option.map int_of_string (value ())
+      | "--multicore" ->
+          multicore_mode := true;
+          (* FILE is optional: bare --multicore prints the JSON to stdout. *)
+          (match value () with
+          | Some v when String.length v >= 2 && String.sub v 0 2 = "--" -> ()
+          | v -> multicore_out := v)
+      | "--assert-speedup" -> assert_speedup := Option.map float_of_string (value ())
+      | _ -> ())
     Sys.argv;
-  let results, _ = benchmark () in
-  let rows = rows_of_results results in
-  (match !out with
-  | Some path ->
-      let document = json_of_results results in
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc document);
-      render_table results;
-      Printf.printf "json -> %s\n" path
-  | None -> if json then print_string (json_of_results results) else render_table results);
-  if not json then render_flags rows;
-  let guards_ok = if json then true else render_guards rows in
-  if not guards_ok then exit 1
+  if !multicore_mode then multicore ~out:!multicore_out ~assert_speedup:!assert_speedup
+  else begin
+    let results, _ = benchmark () in
+    let rows = rows_of_results results in
+    (match !out with
+    | Some path ->
+        let document = json_of_results results in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc document);
+        render_table results;
+        Printf.printf "json -> %s\n" path
+    | None -> if json then print_string (json_of_results results) else render_table results);
+    if not json then render_flags rows;
+    let fit_ok = check_no_negative_r2 rows in
+    let guards_ok = if json then true else render_guards rows in
+    if not (guards_ok && fit_ok) then exit 1
+  end

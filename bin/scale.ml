@@ -80,7 +80,7 @@ let run_one ~protocol ~nodes ~seed ~pool ~obs ~episodes ~routes_per_episode ~chu
   Gc.compact ();
   let config = Scale_world.config ~protocol ~nodes ~seed () in
   let t0 = now () in
-  let world = Scale_world.build config in
+  let world = Scale_world.build ?pool config in
   let build_s = now () -. t0 in
   Buffer.add_string buf (Scale_world.header_line world);
   Buffer.add_char buf '\n';
@@ -308,8 +308,8 @@ let domains =
     & opt (some int) None
     & info [ "domains" ] ~docv:"N"
         ~doc:
-          "Domains for the episode fan-out (default: inline). The transcript is \
-           byte-identical for any value.")
+          "Domains for the sweep-build and episode fan-outs (default: inline). The \
+           transcript is byte-identical for any value.")
 
 let episodes =
   Arg.(value & opt int 3 & info [ "episodes" ] ~docv:"N" ~doc:"Episode batches per world.")

@@ -16,7 +16,7 @@
    Each finding carries the call-graph trail from the root to the line
    where the effect originates. *)
 
-let pool_fns = [ "parallel_init"; "parallel_map" ]
+let pool_fns = [ "parallel_init"; "parallel_map"; "parallel_init_rng" ]
 
 let is_pool_call (key : Callgraph.key) =
   key.Callgraph.k_lib = "concilium_util"

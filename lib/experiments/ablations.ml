@@ -120,14 +120,13 @@ let probe_consolidation ?pool ~world ~group_sizes ~seed () =
   let trees = Array.map Tree.physical_links world.World.trees in
   let per_tree_bytes = Bandwidth.heavyweight_probe_bytes Bandwidth.paper_params in
   (* One pre-split stream per group size (member sampling). *)
-  let size_rngs = Prng.split_n rng (Array.length group_sizes) in
   let rows =
     Array.to_list
-      (Pool.parallel_init ?pool (Array.length group_sizes) ~f:(fun index ->
+      (Pool.parallel_init_rng ?pool (Array.length group_sizes) ~rng ~f:(fun index rng ->
            let size = min group_sizes.(index) node_count in
            (* A stub's co-residents are modeled as a random member group;
               their trees share the transit core. *)
-           let members = Prng.sample_without_replacement size_rngs.(index) size node_count in
+           let members = Prng.sample_without_replacement rng size node_count in
            let plan = Probe_sharing.plan ~trees ~members in
            [
              Output.cell_i size;

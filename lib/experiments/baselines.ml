@@ -14,10 +14,13 @@ type result = {
   node_fault_samples : int;
 }
 
-(* Like Blame_world.run, the rejection-sampled draws are split into a fixed
-   shard count — independent of the domain count — with pre-split streams,
-   so the counters sum identically however the shards are scheduled. *)
-let shard_count = 16
+(* Like Blame_world.run, the rejection-sampled draws are split into shards
+   with pre-split streams whose count depends only on the workload (a
+   domain-count-derived split would change the byte stream and break
+   `--domains N` identity): at least 64 samples per shard, capped at 256
+   shards. The counters sum identically however the shards are
+   scheduled. *)
+let shard_count ~samples = min 256 (max 1 (samples / 64))
 
 let run_shard blame_world ~rng ~quota =
   let config = Blame_world.config blame_world in
@@ -49,11 +52,11 @@ let run_shard blame_world ~rng ~quota =
 let run ?pool blame_world ~samples =
   let config = Blame_world.config blame_world in
   let rng = Prng.of_seed (Int64.add config.Blame_world.seed 0xBA5EL) in
-  let shard_rngs = Prng.split_n rng shard_count in
+  let shard_count = shard_count ~samples in
   let quota i = (samples / shard_count) + (if i < samples mod shard_count then 1 else 0) in
   let shards =
-    Pool.parallel_init ?pool shard_count ~f:(fun i ->
-        run_shard blame_world ~rng:shard_rngs.(i) ~quota:(quota i))
+    Pool.parallel_init_rng ?pool shard_count ~rng ~f:(fun i rng ->
+        run_shard blame_world ~rng ~quota:(quota i))
   in
   let network_total = ref 0 and node_total = ref 0 in
   let concilium_network = ref 0 and concilium_node = ref 0 in

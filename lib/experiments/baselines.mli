@@ -23,7 +23,8 @@ type result = {
   node_fault_samples : int;
 }
 
-(** Draws are sharded deterministically (fixed shard count, pre-split
-    streams): the result is identical for any domain count. *)
+(** Draws are sharded deterministically (shard count a pure function of
+    [samples], pre-split streams): the result is identical for any domain
+    count. *)
 val run : ?pool:Concilium_util.Pool.t -> Blame_world.t -> samples:int -> result
 val table : result -> Output.table

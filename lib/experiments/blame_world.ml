@@ -231,12 +231,18 @@ type result = {
   nonfaulty_samples : int;
 }
 
-(* The judgment draw is rejection sampling, so the work is split into a
-   FIXED number of shards — independent of the domain count — each with its
-   own pre-split stream and sample quota. Shard results merge in shard
-   order, so output is identical whether shards run on one domain or
-   many. *)
-let shard_count = 32
+(* The judgment draw is rejection sampling, so the work is split into
+   shards — each with its own pre-split stream and sample quota — whose
+   count is a pure function of the WORKLOAD, never of the domain count:
+   the split changes the byte stream, so deriving it from the pool size
+   would break `--domains N` byte-identity. Shard results merge in shard
+   order, so output is identical however the shards are scheduled.
+
+   Granularity: at least 64 samples per shard so per-shard dispatch cost
+   vanishes against the judgment work (the old fixed 32 shards left
+   single-digit quotas on small runs), capped at 256 shards so any
+   realistic pool still load-balances large runs. *)
+let shard_count ~samples = min 256 (max 1 (samples / 64))
 
 (* Per-shard accumulation: accepted blame values (in draw order) and guilty
    counts for each population. *)
@@ -281,12 +287,12 @@ let run_shard t ~rng ~quota =
 
 let run ?pool t ~samples ~bins =
   let rng = Prng.of_seed (Int64.add t.config.seed 0x5151L) in
-  let shard_rngs = Prng.split_n rng shard_count in
+  let shard_count = shard_count ~samples in
   (* Spread [samples] over the shards, remainder to the first ones. *)
   let quota i = (samples / shard_count) + (if i < samples mod shard_count then 1 else 0) in
   let shards =
-    Pool.parallel_init ?pool shard_count ~f:(fun i ->
-        run_shard t ~rng:shard_rngs.(i) ~quota:(quota i))
+    Pool.parallel_init_rng ?pool shard_count ~rng ~f:(fun i rng ->
+        run_shard t ~rng ~quota:(quota i))
   in
   let faulty_pdf = Histogram.create ~lo:0. ~hi:1. ~bins in
   let nonfaulty_pdf = Histogram.create ~lo:0. ~hi:1. ~bins in

@@ -87,8 +87,9 @@ val run : ?pool:Concilium_util.Pool.t -> t -> samples:int -> bins:int -> result
 (** Draw judgments until [samples] of them landed in a population. In a
     collusion scenario the faulty population is restricted to malicious
     suspects (the paper's framing: colluders are the droppers). The draws
-    are split over a fixed number of shards, each with a pre-split stream
-    and sample quota, so the result is identical for any domain count. *)
+    are split over shards — the count a pure function of [samples], never
+    of the pool size — each with a pre-split stream and sample quota, so
+    the result is identical for any domain count. *)
 
 val pdf_table : title:string -> result -> Output.table
 

@@ -16,11 +16,9 @@ let run ?pool ~seed ~sizes ~trials () =
   let rng = Prng.of_seed seed in
   (* One pre-split stream per overlay size; inside a task the draws are
      strictly sequential on that stream, so fan-out order cannot matter. *)
-  let size_rngs = Prng.split_n rng (Array.length sizes) in
   Array.to_list
-    (Pool.parallel_init ?pool (Array.length sizes) ~f:(fun index ->
+    (Pool.parallel_init_rng ?pool (Array.length sizes) ~rng ~f:(fun index rng ->
          let n = sizes.(index) in
-         let rng = size_rngs.(index) in
          let model = Chord.Model.occupancy_model ~n in
          let samples = Chord.Model.monte_carlo_occupancy ~rng ~n ~trials in
          let ids = Array.init n (fun _ -> Id.random rng) in

@@ -22,13 +22,10 @@ let run ?pool ~seed ~sizes ~trials () =
   (* One independent stream per (size, trial), split before dispatch so each
      Monte Carlo overlay is identical for any domain count; flattening the
      pairs balances the load (large sizes dominate a per-size split). *)
-  let task_rngs = Prng.split_n rng (size_count * trials) in
   let samples =
-    Pool.parallel_init ?pool (size_count * trials) ~f:(fun task ->
+    Pool.parallel_init_rng ?pool (size_count * trials) ~rng ~f:(fun task rng ->
         let n = sizes.(task / trials) in
-        let occupancy =
-          Jump_table_model.monte_carlo_occupancy ~rng:task_rngs.(task) ~n ~trials:1
-        in
+        let occupancy = Jump_table_model.monte_carlo_occupancy ~rng ~n ~trials:1 in
         occupancy.(0))
   in
   let models = Pool.parallel_map ?pool sizes ~f:(fun n -> Jump_table_model.model ~n) in

@@ -13,10 +13,10 @@ type point = {
 }
 
 (* Per-host measurement: coverage and voucher averages for every prefix of a
-   randomly ordered peer-tree inclusion. Reads the world, writes nothing
-   shared; safe to run on any domain. *)
-let host_curves world ~link_count ~rng host =
-  let forest = World.forest_links world host in
+   randomly ordered peer-tree inclusion. Reads the world (and the
+   pre-computed [forest] for this host), writes nothing shared; safe to run
+   on any domain. *)
+let host_curves world ~link_count ~forest ~rng host =
   let forest_size = float_of_int (Array.length forest) in
   if forest_size = 0. then None
   else begin
@@ -65,13 +65,18 @@ let run ?pool ~world ~rng ~host_sample () =
       (fun acc host -> max acc (Array.length world.World.peers.(host)))
       0 sampled
   in
+  (* Pre-size the forest arrays before the fan-out: [World.forest_links]
+     allocates a link bitset plus the result array per call, so computing
+     them once up front keeps that churn out of the parallel tasks (and out
+     of the measured region of the fig4 bench, whose fit it destabilised).
+     The task only reads its host's array; bytes are unchanged. *)
+  let forests = Array.map (fun host -> World.forest_links world host) sampled in
   (* One pre-split stream per sampled host (peer-inclusion order), then fan
      the hosts out; curves are merged in sample order afterwards, so the
      sums are identical for any domain count. *)
-  let host_rngs = Prng.split_n rng sample_size in
   let curves =
-    Pool.parallel_init ?pool sample_size ~f:(fun i ->
-        host_curves world ~link_count ~rng:host_rngs.(i) sampled.(i))
+    Pool.parallel_init_rng ?pool sample_size ~rng ~f:(fun i rng ->
+        host_curves world ~link_count ~forest:forests.(i) ~rng sampled.(i))
   in
   let coverage_sum = Array.make (max_peers + 1) 0. in
   let voucher_sum = Array.make (max_peers + 1) 0. in

@@ -16,13 +16,11 @@ let run ?pool ~seed ~overlay_size ~trials ~fractions () =
      own pre-split stream; rates land back in a fixed (fraction, mode)
      layout. *)
   let fraction_count = Array.length fractions in
-  let task_rngs = Prng.split_n rng (2 * fraction_count) in
   let rates =
-    Pool.parallel_init ?pool (2 * fraction_count) ~f:(fun task ->
+    Pool.parallel_init_rng ?pool (2 * fraction_count) ~rng ~f:(fun task rng ->
         let faulty_fraction = fractions.(task / 2) in
         let mode = if task mod 2 = 0 then `Standard else `Redundant in
-        Secure_routing.delivery_probability overlay ~rng:task_rngs.(task) ~faulty_fraction
-          ~trials ~mode)
+        Secure_routing.delivery_probability overlay ~rng ~faulty_fraction ~trials ~mode)
   in
   List.init fraction_count (fun i ->
       {

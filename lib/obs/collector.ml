@@ -5,7 +5,19 @@ type t = { trace : Trace.t; metrics : Metrics.t; prov : Graph.t }
 let create () = { trace = Trace.create (); metrics = Metrics.create (); prov = Graph.create () }
 let noop = { trace = Trace.noop; metrics = Metrics.noop; prov = Graph.noop }
 let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics || Graph.enabled t.prov
-let shards n = Array.init n (fun _ -> create ())
+(* Shard collectors are written concurrently by adjacent pool workers, and
+   OCaml's bump-pointer minor allocator makes back-to-back allocations
+   adjacent in memory — so without separation, two shards' mutable
+   headers can land on one cache line and false-share under the fan-out.
+   A dead 128-byte spacer between creations (two cache lines on common
+   hardware, covering adjacent-line prefetchers) keeps each shard's hot
+   fields on lines of their own. The spacers are garbage immediately;
+   promotion scatters the shards further. *)
+let shards n =
+  Array.init n (fun _ ->
+      let shard = create () in
+      ignore (Sys.opaque_identity (Bytes.create 128));
+      shard)
 
 let merge shards =
   {

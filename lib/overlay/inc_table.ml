@@ -116,11 +116,170 @@ let entry_id t ~owner ~row ~col =
 
 (* ---------- Bulk build: one sweep per (row, digit class) ---------- *)
 
-(* O(n) per row (plus sweep-pointer restarts per class): within one prefix
+(* Reusable sweep scratch: candidate positions and midpoints sized to the
+   widest subrange seen so far, class boundaries fixed at base + 1. One
+   record per builder (sequential) or per pool task (parallel). *)
+type scratch = {
+  mutable cands : int array;
+  mutable mids : Id.t array;
+  bounds : int array;
+}
+
+let make_scratch () =
+  { cands = [||]; mids = [||]; bounds = Array.make (Id.base + 1) 0 }
+
+let ensure_scratch s width =
+  if Array.length s.cands < width then begin
+    let cap = max 16 width in
+    s.cands <- Array.make cap 0;
+    s.mids <- Array.make cap Id.zero
+  end
+
+(* One (group, class-range) unit of the bulk build: digit classes
+   [c_lo, c_hi) of the group [g_lo, g_hi) at [row]. Writes only slots
+   (owner, row, col) with the owner inside the group and col inside the
+   class range — disjoint across units — so units run sequentially or as
+   pool tasks interchangeably, producing identical bytes either way.
+
+   O(group) per class (plus sweep-pointer restarts): within one prefix
    subrange the candidate list and its midpoints are shared by every owner
    of the enclosing group, so each class is a merge-style walk with the
    allocation-free [Id.compare_substituted] as the comparison. *)
-let build ?rows ring =
+let build_group t scratch ~row ~g_lo ~g_hi ~c_lo ~c_hi =
+  let ring = t.ring in
+  let bounds = scratch.bounds in
+  (* bounds.(c) = first position in the group whose digit at [row] is
+     >= c; the digit is non-decreasing across the sorted group. *)
+  bounds.(0) <- g_lo;
+  bounds.(Id.base) <- g_hi;
+  for c = 1 to Id.base - 1 do
+    let a = ref bounds.(c - 1) and b = ref g_hi in
+    while !a < !b do
+      let mid = (!a + !b) / 2 in
+      if Id.digit (Ring.id ring mid) row >= c then b := mid else a := mid + 1
+    done;
+    bounds.(c) <- !a
+  done;
+  for c = c_lo to c_hi - 1 do
+    let s_lo = bounds.(c) and s_hi = bounds.(c + 1) in
+    ensure_scratch scratch (s_hi - s_lo);
+    let cands = scratch.cands and mids = scratch.mids in
+    (* Alive candidates of the subrange, shared by all 16 classes. *)
+    let k = ref 0 in
+    let p = ref (Ring.next_alive_in ring s_lo (s_hi - 1)) in
+    while !p >= 0 do
+      cands.(!k) <- !p;
+      incr k;
+      p := Ring.next_alive_in ring (!p + 1) (s_hi - 1)
+    done;
+    let k = !k in
+    for i = 0 to k - 2 do
+      mids.(i) <- Id.midpoint (Ring.id ring cands.(i)) (Ring.id ring cands.(i + 1))
+    done;
+    (* Own-digit class: each owner's point is its own id, so the entry
+       follows the sweep pointer directly. *)
+    let ci = ref 0 in
+    for o = s_lo to s_hi - 1 do
+      while !ci < k && cands.(!ci) < o do incr ci done;
+      let below, above =
+        if !ci < k && cands.(!ci) = o then
+          ((if !ci > 0 then cands.(!ci - 1) else -1), if !ci + 1 < k then cands.(!ci + 1) else -1)
+        else ((if !ci > 0 then cands.(!ci - 1) else -1), if !ci < k then cands.(!ci) else -1)
+      in
+      t.slots.(slot_index t ~owner:o ~row ~col:c) <- pick ring (Ring.id ring o) below above
+    done;
+    (* Other digit classes: owner points are order-preserving digit
+       substitutions, so each class is one monotone walk over the
+       shared midpoints. *)
+    if k > 0 then
+      for g = 0 to Id.base - 1 do
+        if g <> c then begin
+          let cls_lo = bounds.(g) and cls_hi = bounds.(g + 1) in
+          let ci = ref 0 in
+          for o = cls_lo to cls_hi - 1 do
+            let oid = Ring.id ring o in
+            while
+              !ci < k - 1 && Id.compare_substituted oid ~index:row ~digit:c mids.(!ci) > 0
+            do
+              incr ci
+            done;
+            t.slots.(slot_index t ~owner:o ~row ~col:c) <- cands.(!ci)
+          done
+        end
+      done
+  done
+
+(* Run every group whose start position falls in [p_lo, p_hi) at [row]
+   through [build_group] (all classes). Group boundaries are rediscovered
+   from the ring, so any position partition that aligns task edges to
+   multiples of [n / tasks] covers each group exactly once. *)
+let build_groups_in t scratch ~row ~p_lo ~p_hi =
+  let ring = t.ring in
+  let g_lo =
+    ref
+      (let lo, hi = Ring.prefix_range ring (Ring.id ring p_lo) ~digits_shared:row in
+       if lo < p_lo then hi else lo)
+  in
+  while !g_lo < p_hi do
+    let _, g_hi = Ring.prefix_range ring (Ring.id ring !g_lo) ~digits_shared:row in
+    build_group t scratch ~row ~g_lo:!g_lo ~g_hi ~c_lo:0 ~c_hi:Id.base;
+    g_lo := g_hi
+  done
+
+(* Task plan for one parallel build. Both shapes write disjoint slot
+   regions: position ranges partition each row's groups by start position,
+   and class slices of one group write disjoint columns. *)
+type build_task =
+  | Range of { row : int; p_lo : int; p_hi : int }
+      (** every group starting in [p_lo, p_hi), all classes *)
+  | Classes of { row : int; g_lo : int; g_hi : int; c_lo : int; c_hi : int }
+      (** one group, classes [c_lo, c_hi) *)
+
+(* Decompose the build into tasks. Slot values are pure functions of the
+   ring, so — unlike the experiment drivers' shard counts — the task shape
+   here MAY depend on the domain count without breaking byte-identity:
+   every decomposition writes the same values to the same cells. Rows with
+   at least a few groups per domain split by position (group-aligned);
+   shallow rows (row 0 has one group spanning the whole ring) split each
+   group by digit class so they parallelize too. *)
+let plan_tasks ring ~rows ~domains =
+  let n = Ring.size ring in
+  let target = 2 * domains in
+  let tasks = ref [] in
+  for row = 0 to rows - 1 do
+    (* Upper bound on this row's group count: base^row, saturating. *)
+    let groups_cap = ref 1 in
+    for _ = 1 to row do
+      if !groups_cap <= target then groups_cap := !groups_cap * Id.base
+    done;
+    if !groups_cap > target && n > target then begin
+      let pieces = 2 * target in
+      for k = pieces - 1 downto 0 do
+        let p_lo = k * n / pieces and p_hi = (k + 1) * n / pieces in
+        if p_hi > p_lo then tasks := Range { row; p_lo; p_hi } :: !tasks
+      done
+    end
+    else begin
+      (* Few groups: enumerate them and slice each by digit class. *)
+      let g_lo = ref 0 in
+      while !g_lo < n do
+        let _, g_hi = Ring.prefix_range ring (Ring.id ring !g_lo) ~digits_shared:row in
+        for c = Id.base - 1 downto 0 do
+          tasks := Classes { row; g_lo = !g_lo; g_hi; c_lo = c; c_hi = c + 1 } :: !tasks
+        done;
+        g_lo := g_hi
+      done
+    end
+  done;
+  Array.of_list !tasks
+
+let run_task t scratch = function
+  | Range { row; p_lo; p_hi } -> build_groups_in t scratch ~row ~p_lo ~p_hi
+  | Classes { row; g_lo; g_hi; c_lo; c_hi } ->
+      build_group t scratch ~row ~g_lo ~g_hi ~c_lo ~c_hi
+
+let build ?pool ?rows ring =
+  let module Pool = Concilium_util.Pool in
   let n = Ring.size ring in
   let rows =
     match rows with
@@ -142,75 +301,26 @@ let build ?rows ring =
       total_owners = 0;
     }
   in
-  let cands = Array.make (max 1 n) 0 in
-  let mids = Array.make (max 1 n) Id.zero in
-  let bounds = Array.make (Id.base + 1) 0 in
-  for row = 0 to rows - 1 do
-    let g_lo = ref 0 in
-    while !g_lo < n do
-      let _, g_hi = Ring.prefix_range ring (Ring.id ring !g_lo) ~digits_shared:row in
-      (* bounds.(c) = first position in the group whose digit at [row] is
-         >= c; the digit is non-decreasing across the sorted group. *)
-      bounds.(0) <- !g_lo;
-      bounds.(Id.base) <- g_hi;
-      for c = 1 to Id.base - 1 do
-        let a = ref bounds.(c - 1) and b = ref g_hi in
-        while !a < !b do
-          let mid = (!a + !b) / 2 in
-          if Id.digit (Ring.id ring mid) row >= c then b := mid else a := mid + 1
-        done;
-        bounds.(c) <- !a
-      done;
-      for c = 0 to Id.base - 1 do
-        let s_lo = bounds.(c) and s_hi = bounds.(c + 1) in
-        (* Alive candidates of the subrange, shared by all 16 classes. *)
-        let k = ref 0 in
-        let p = ref (Ring.next_alive_in ring s_lo (s_hi - 1)) in
-        while !p >= 0 do
-          cands.(!k) <- !p;
-          incr k;
-          p := Ring.next_alive_in ring (!p + 1) (s_hi - 1)
-        done;
-        let k = !k in
-        for i = 0 to k - 2 do
-          mids.(i) <- Id.midpoint (Ring.id ring cands.(i)) (Ring.id ring cands.(i + 1))
-        done;
-        (* Own-digit class: each owner's point is its own id, so the entry
-           follows the sweep pointer directly. *)
-        let ci = ref 0 in
-        for o = s_lo to s_hi - 1 do
-          while !ci < k && cands.(!ci) < o do incr ci done;
-          let below, above =
-            if !ci < k && cands.(!ci) = o then
-              ((if !ci > 0 then cands.(!ci - 1) else -1), if !ci + 1 < k then cands.(!ci + 1) else -1)
-            else ((if !ci > 0 then cands.(!ci - 1) else -1), if !ci < k then cands.(!ci) else -1)
-          in
-          t.slots.(slot_index t ~owner:o ~row ~col:c) <- pick ring (Ring.id ring o) below above
-        done;
-        (* Other digit classes: owner points are order-preserving digit
-           substitutions, so each class is one monotone walk over the
-           shared midpoints. *)
-        if k > 0 then
-          for g = 0 to Id.base - 1 do
-            if g <> c then begin
-              let cls_lo = bounds.(g) and cls_hi = bounds.(g + 1) in
-              let ci = ref 0 in
-              for o = cls_lo to cls_hi - 1 do
-                let oid = Ring.id ring o in
-                while
-                  !ci < k - 1 && Id.compare_substituted oid ~index:row ~digit:c mids.(!ci) > 0
-                do
-                  incr ci
-                done;
-                t.slots.(slot_index t ~owner:o ~row ~col:c) <- cands.(!ci)
-              done
-            end
-          done
-      done;
-      g_lo := g_hi
-    done
-  done;
-  t
+  let domains = match pool with None -> 1 | Some p -> Pool.domain_count p in
+  if n = 0 then t
+  else if domains <= 1 then begin
+    let scratch = make_scratch () in
+    for row = 0 to rows - 1 do
+      build_groups_in t scratch ~row ~p_lo:0 ~p_hi:n
+    done;
+    t
+  end
+  else begin
+    let tasks = plan_tasks ring ~rows ~domains in
+    ignore
+      (Pool.parallel_map ?pool tasks ~f:(fun task ->
+           let scratch = make_scratch () in
+           (* analysis: allow pool-shared-write — build tasks write disjoint
+              (owner, row, col) slot regions of the fresh table (see
+              [build_task]); no cell is ever written by two tasks. *)
+           run_task t scratch task));
+    t
+  end
 
 (* ---------- Incremental maintenance ---------- *)
 

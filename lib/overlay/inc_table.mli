@@ -19,11 +19,17 @@ type maintenance = { writes : int; changed : int; owners : int }
 (** Per-event accounting: slots written, slots whose value actually
     changed, and distinct owners whose table changed. *)
 
-val build : ?rows:int -> Ring.t -> t
+val build : ?pool:Concilium_util.Pool.t -> ?rows:int -> Ring.t -> t
 (** Sweep-build all tables over the ring's current alive set, O(n) per
     materialised row per digit class. [rows] defaults to
     ceil(log_base n) + 1. The table keeps (and mutates through
-    [apply_join]/[apply_leave]) the ring. *)
+    [apply_join]/[apply_leave]) the ring.
+
+    With [?pool] the sweep fans out over the pool as (row, group,
+    class-range) units that write disjoint slot regions. Slot values are
+    pure functions of the ring, so the resulting table is byte-identical
+    to the sequential build for any domain count (unlike experiment shard
+    counts, the task decomposition here may depend on the pool size). *)
 
 val ring : t -> Ring.t
 val materialized_rows : t -> int

@@ -49,6 +49,7 @@ type t = {
   mutable clock : float;
   mutable applied : int;
   mutable skipped : int;
+  mutable episode_rngs : Prng.t array;  (* reseeded in place every episode *)
 }
 
 (* Draw [n] distinct ids. Collisions among 128-bit draws are vanishingly
@@ -69,7 +70,7 @@ let distinct_sorted_ids ~rng n =
   fix ();
   ids
 
-let build config =
+let build ?pool config =
   let rng = Prng.of_seed config.seed in
   let id_rng = Prng.split rng in
   let churn_rng = Prng.split rng in
@@ -91,9 +92,11 @@ let build config =
     Ring.set_alive ring !host;
     incr host
   done;
+  (* The sweep-build parallelizes safely: slot values are pure functions of
+     the ring, so the table is byte-identical for any domain count. *)
   let table =
     match config.protocol with
-    | Pastry -> Some (Inc_table.build ?rows:config.rows ring)
+    | Pastry -> Some (Inc_table.build ?pool ?rows:config.rows ring)
     | Chord -> None
   in
   let chord =
@@ -109,6 +112,7 @@ let build config =
     clock = 0.;
     applied = 0;
     skipped = 0;
+    episode_rngs = [||];
   }
 
 let ring t = t.ring
@@ -198,9 +202,23 @@ let route_once t rng =
   | None, None -> (0, false, 0L)
 
 (* Task [i] writes only slot [i] and draws only from rngs.(i), pre-split
-   before dispatch: bit-identical across domain counts. *)
+   before dispatch: bit-identical across domain counts. The per-route
+   generators are recycled across episodes ([Prng.split_into] reseeds the
+   cached array with exactly [split_n]'s streams), so a long soak allocates
+   the fan-out scratch once instead of [routes] records per episode. *)
 let run_episode ?pool ?(obs = Collector.noop) t ~episode ~routes =
-  let rngs = Prng.split_n (episode_rng t ~episode) routes in
+  let base = episode_rng t ~episode in
+  let rngs =
+    if Array.length t.episode_rngs = routes then begin
+      Prng.split_into base t.episode_rngs;
+      t.episode_rngs
+    end
+    else begin
+      let fresh = Prng.split_n base routes in
+      t.episode_rngs <- fresh;
+      fresh
+    end
+  in
   let results = Pool.parallel_init ?pool routes ~f:(fun i -> route_once t rngs.(i)) in
   (* Observability happens only in this sequential aggregation pass, after
      the fan-out has joined: workers never touch the sinks, so the trace

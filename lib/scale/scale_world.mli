@@ -41,9 +41,11 @@ val config :
 
 type t
 
-val build : config -> t
+val build : ?pool:Concilium_util.Pool.t -> config -> t
 (** Draw the id universe, align the ring with the churn timeline's initial
-    state, and (for Pastry) sweep-build the incremental tables. *)
+    state, and (for Pastry) sweep-build the incremental tables. With
+    [?pool] the sweep-build fans out over the pool (byte-identical table
+    for any domain count — see {!Inc_table.build}). *)
 
 val ring : t -> Ring.t
 val table : t -> Inc_table.t option

@@ -1,16 +1,23 @@
-(** Fixed-size domain pool with deterministic, order-preserving fan-out.
+(** Fixed-size domain pool with deterministic, order-preserving fan-out,
+    scheduled by per-worker chunk deques with work-stealing.
 
     All parallelism in Concilium flows through this module (enforced by the
-    [raw-parallelism] lint rule): a pool owns a fixed set of worker domains
-    fed from a mutex/condition chunk queue, and {!parallel_map} /
-    {!parallel_init} return results in input order regardless of which
-    domain computed what.
+    [raw-parallelism] lint rule). A pool owns a fixed set of worker domains;
+    {!parallel_map} / {!parallel_init} split the index range into one
+    contiguous block per domain, each block subdivided into chunks of a
+    deterministic size ({!chunk_size}). A domain claims chunks from its own
+    block with one atomic fetch-and-add each and, when its block runs dry,
+    steals from the other blocks in a fixed cyclic victim order — there is
+    no lock anywhere on the hot path. Results land in input order regardless
+    of which domain computed what, and are merged in task-index order, never
+    completion order.
 
     Determinism contract: task [i] must write only its own result (no shared
     mutable state between tasks), and any randomness must come from a PRNG
-    pre-split per task {e before} dispatch ({!Prng.split}). Under that
-    contract output is bit-identical for every domain count, including the
-    inline sequential path. *)
+    pre-split per task {e before} dispatch ({!parallel_init_rng}, or
+    {!Prng.split_n} by hand). Under that contract output is bit-identical
+    for every domain count, including the inline sequential path — the
+    schedule (who stole what) can vary, the bytes cannot. *)
 
 type t
 (** A pool of worker domains. The creating domain participates in every
@@ -36,24 +43,45 @@ val domain_count : t -> int
 val default_domains : unit -> int
 (** [max 1 (Domain.recommended_domain_count ())]. *)
 
+val chunk_size : tasks:int -> domains:int -> int
+(** The deterministic scheduling granularity: the chunk length used when
+    [tasks] indices fan out over [domains] domains (about four chunks per
+    block, at least 1). Scheduling-only — the chunk size never influences
+    which task computes what or in what order results merge, so it may
+    depend on the domain count without breaking byte-identity. Exposed for
+    tests and for callers sizing worklists. *)
+
 val parallel_init : ?pool:t -> int -> f:(int -> 'a) -> 'a array
 (** [parallel_init ?pool n ~f] is [Array.init n f] with the calls fanned out
     across the pool's domains; the result array is in index order. Without
     [?pool] (or with a single-domain pool) it runs inline. The first
     exception raised by any task is re-raised after the remaining in-flight
-    tasks finish; the undispatched tail is cancelled. Nested calls from
-    inside a task run inline rather than deadlocking on the shared queue. *)
+    tasks finish; the undispatched tail is cancelled (claimed and accounted,
+    never run). Nested calls from inside a task run inline rather than
+    deadlocking on the shared job slot. *)
 
 val parallel_map : ?pool:t -> 'a array -> f:('a -> 'b) -> 'b array
 (** [parallel_map ?pool xs ~f] maps [f] over [xs] with the same semantics as
     {!parallel_init}; [f xs.(i)] lands at slot [i]. *)
 
+val parallel_init_rng : ?pool:t -> int -> rng:Prng.t -> f:(int -> Prng.t -> 'a) -> 'a array
+(** [parallel_init_rng ?pool n ~rng ~f] is {!parallel_init} where task [i]
+    additionally receives the [i]-th of [n] streams split from [rng] in
+    index order on the submitting domain, before dispatch ({!Prng.split_n}).
+    This is the sanctioned pre-split idiom: the stream a task draws from is
+    a pure function of [rng] and [i], so output is bit-identical for any
+    domain count and no per-task closure allocation is needed at the call
+    site. [rng] itself advances by exactly [n] draws. *)
+
 type worker_stats = {
   worker : int;  (** slot index; 0 is the submitting domain *)
   busy_s : float;  (** wall seconds inside task bodies *)
   idle_s : float;  (** wall seconds parked waiting for work or completion *)
-  steal_wait_s : float;  (** wall seconds contending on the chunk queue *)
+  steal_wait_s : float;  (** wall seconds claiming chunks / scanning victims *)
   chunks : int;  (** chunks executed *)
+  steals : int;  (** chunks claimed from another slot's block *)
+  empty_scans : int;  (** victim scans that found every block empty *)
+  wakeups : int;  (** times the worker unparked for a job *)
 }
 
 val stats : t -> worker_stats list
@@ -62,7 +90,10 @@ val stats : t -> worker_stats list
     real time went (they never influence results); a worker's idle time is
     booked when its wait ends, so a snapshot taken while workers are parked
     under-counts their current idle stretch. Read between fan-outs for
-    consistent numbers. *)
+    consistent numbers. A healthy fan-out shows busy time dwarfing
+    steal-wait; [empty_scans] close to [wakeups] means the job had too few
+    chunks for the pool ({!chunk_size} bounds that at one failed scan per
+    worker per job — the pool never busy-spins). *)
 
 val reset_stats : t -> unit
 (** Zero all counters, e.g. after warmup runs. *)

@@ -55,6 +55,19 @@ let split_n t n =
   done;
   out
 
+(* Reseed an existing generator in place with the stream [split] would have
+   produced, so hot loops can recycle one scratch array of generators
+   instead of allocating [split_n]'s fresh records on every fan-out. *)
+let split_into t out =
+  Array.iter
+    (fun g ->
+      let state = ref (int64 t) in
+      g.s0 <- splitmix_next state;
+      g.s1 <- splitmix_next state;
+      g.s2 <- splitmix_next state;
+      g.s3 <- splitmix_next state)
+    out
+
 let int t n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* Rejection sampling over the top bits to avoid modulo bias. *)

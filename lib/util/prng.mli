@@ -26,6 +26,14 @@ val split_n : t -> int -> t array
     before dispatching to {!Pool} so output is independent of the domain
     count). Raises [Invalid_argument] on negative [n]. *)
 
+val split_into : t -> t array -> unit
+(** [split_into t out] reseeds every generator in [out], in index order,
+    with exactly the streams [split_n t (Array.length out)] would have
+    returned — but in place, so a hot fan-out loop can recycle one scratch
+    array instead of allocating fresh generators each round. The elements
+    of [out] must be distinct generators (e.g. from an initial
+    {!split_n}); aliased elements would be reseeded more than once. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -810,6 +810,30 @@ let prop_incremental_matches_oracle =
       done;
       !applied >= 0)
 
+(* The parallel sweep-build must be byte-identical to the sequential one:
+   slot values are pure functions of the ring, and the (row, group, class)
+   task decomposition writes disjoint regions for any domain count. *)
+let prop_parallel_build_matches_sequential =
+  QCheck.Test.make ~name:"parallel sweep-build = sequential build, any domain count" ~count:4
+    QCheck.(pair (int_range 2 300) (int_bound 1000))
+    (fun (n, seed) ->
+      let make_ring () =
+        let rng = Prng.of_seed (Int64.of_int (6100 + seed)) in
+        let ring = Ring.of_ids (distinct_ids ~rng n) in
+        let kill = Prng.of_seed (Int64.of_int (6200 + seed)) in
+        for _ = 1 to n / 5 do
+          let v = Prng.int kill n in
+          if Ring.alive_count ring > 2 then Ring.set_dead ring v
+        done;
+        ring
+      in
+      let reference = Inc_table.checksum (Inc_table.build (make_ring ())) in
+      List.for_all
+        (fun domains ->
+          Concilium_util.Pool.with_pool ~domains (fun pool ->
+              Inc_table.checksum (Inc_table.build ~pool (make_ring ())) = reference))
+        [ 2; 3; 8 ])
+
 (* ---------- Flat (universe-indexed) routing ---------- *)
 
 let prop_flat_pastry_routes_to_root =
@@ -978,6 +1002,7 @@ let suites =
         qtest prop_prefix_bounds_bracket;
         Alcotest.test_case "floor_log2" `Quick test_id_floor_log2;
         qtest prop_incremental_matches_oracle;
+        qtest prop_parallel_build_matches_sequential;
         qtest prop_flat_pastry_routes_to_root;
         qtest prop_flat_chord_routes_to_owner;
       ] );

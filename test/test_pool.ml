@@ -103,6 +103,65 @@ let test_fig4_domain_count_invariant () =
       check Alcotest.int "hosts" a.E.Fig4.hosts b.E.Fig4.hosts)
     one four
 
+(* Any steal interleaving must merge byte-identically: random task counts
+   with skewed per-task work (so the per-domain blocks drain at different
+   rates and cross-block steals actually happen), compared against the
+   sequential reference for several domain counts — including more domains
+   than tasks. *)
+let prop_stealing_merges_byte_identical =
+  QCheck.Test.make ~count:10 ~name:"parallel_map byte-identical for any domain count"
+    QCheck.(pair (int_range 0 500) (int_range 0 1000))
+    (fun (n, salt) ->
+      let xs = Array.init n (fun i -> ((i * 31) + salt) land 0xffff) in
+      let f x =
+        (* Work skew of up to 64x across tasks forces steals. *)
+        let rounds = 1 + (x land 63) in
+        let acc = ref x in
+        for i = 1 to rounds do
+          acc := ((!acc * 1103515245) + i) land 0x3fffffff
+        done;
+        !acc
+      in
+      let reference = Array.map f xs in
+      List.for_all
+        (fun domains ->
+          Pool.with_pool ~domains (fun pool -> Pool.parallel_map ~pool xs ~f = reference))
+        [ 2; 3; 8 ])
+
+(* Regression: a fan-out with fewer tasks than domains must neither deadlock
+   (the starved workers park and the submitter completes the job) nor
+   busy-spin (each woken worker gives up after a single failed victim scan
+   — bounded by its wakeup count, which is at most one per job). *)
+let test_single_task_many_domains () =
+  Pool.with_pool ~domains:8 (fun pool ->
+      let result = Pool.parallel_init ~pool 1 ~f:(fun i -> i + 41) in
+      check (Alcotest.array Alcotest.int) "result" [| 41 |] result;
+      List.iter
+        (fun { Pool.worker; empty_scans; wakeups; _ } ->
+          check Alcotest.bool
+            (Printf.sprintf "worker %d: at most one wakeup for the one job" worker)
+            true (wakeups <= 1);
+          check Alcotest.bool
+            (Printf.sprintf "worker %d: at most one empty scan per wakeup" worker)
+            true
+            (empty_scans <= wakeups))
+        (Pool.stats pool);
+      (* The pool is still healthy for a full-width job afterwards. *)
+      check (Alcotest.array Alcotest.int) "subsequent wide job"
+        (Array.init 64 (fun i -> i * i))
+        (Pool.parallel_init ~pool 64 ~f:(fun i -> i * i)))
+
+(* The scheduling granularity: positive, never wider than a task range that
+   exists, and fine enough that every domain's block holds work when there
+   are at least [domains] tasks. *)
+let prop_chunk_size_sane =
+  QCheck.Test.make ~count:500 ~name:"chunk_size bounds"
+    QCheck.(pair (int_range 0 100_000) (int_range 1 64))
+    (fun (tasks, domains) ->
+      let c = Pool.chunk_size ~tasks ~domains in
+      c >= 1
+      && (tasks = 0 || domains <= 1 || c <= max 1 ((tasks + domains - 1) / domains)))
+
 let test_split_n_is_prefix_stable () =
   (* split_n must be the explicit in-order split sequence: drawing more
      streams never perturbs the ones already drawn. *)
@@ -121,6 +180,9 @@ let suites =
         Alcotest.test_case "nested submission runs inline" `Quick
           test_nested_submission_runs_inline;
         Alcotest.test_case "shutdown rejects new work" `Quick test_shutdown_rejects_new_work;
+        Alcotest.test_case "single task on many domains" `Quick test_single_task_many_domains;
+        QCheck_alcotest.to_alcotest prop_stealing_merges_byte_identical;
+        QCheck_alcotest.to_alcotest prop_chunk_size_sane;
       ] );
     ( "util.pool.determinism",
       [

@@ -12,7 +12,6 @@ let build ?(nodes = 400) ?(seed = 42L) protocol =
    episode fan-out must be bit-identical for every domain count: the CI
    scale-smoke job diffs --domains 1 vs 2 transcripts byte-for-byte. *)
 let transcript protocol ~domains =
-  let world = build protocol in
   let buf = Buffer.create 1024 in
   let line s =
     Buffer.add_string buf s;
@@ -26,6 +25,11 @@ let transcript protocol ~domains =
     end
   in
   with_pool (fun pool ->
+      (* The pooled path must cover the sweep-build too, not just the
+         episode fan-out: both feed the diffed transcript checksums. *)
+      let world =
+        Scale_world.build ?pool (Scale_world.config ~protocol ~nodes:400 ~seed:42L ())
+      in
       line (Scale_world.header_line world);
       for episode = 1 to 3 do
         let stepped = ref 0 in
